@@ -1,0 +1,20 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures, prints it
+in the paper's shape (run with ``-s`` to see the tables), asserts the
+qualitative result the paper claims for that artifact, and records the
+headline numbers in ``benchmark.extra_info`` so the JSON output carries
+the paper-vs-measured comparison.
+
+Run everything:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # The experiments are deterministic single-shot sweeps: one round of
+    # one iteration is the meaningful measurement (wall time of the whole
+    # regeneration).
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_warmup = False

@@ -1,0 +1,68 @@
+"""Figure 5 — Reunion vs fingerprint interval / comparison latency.
+
+Paper: "ammp and galgel are greatly affected by the length of the FI and
+comparison latencies, because the program quickly saturates the ROB. At
+the FI of 30 instructions and comparison latency of 40 cycles ... the
+performance decreased by 27% and 41% ... UnSync is not affected by the
+increased ROB occupancy."
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.harness.experiments import FIG5_GRID, fig5_fi_latency
+from repro.harness.report import format_table
+from repro.harness.runner import baseline_run, run_scheme
+from repro.workloads import load_benchmark
+
+BENCHES = ("ammp", "galgel", "gzip", "sha")
+
+
+def test_fig5(benchmark):
+    points = benchmark(lambda: fig5_fi_latency(benchmarks=BENCHES))
+
+    by_cfg = defaultdict(dict)
+    for p in points:
+        by_cfg[(p.fingerprint_interval, p.comparison_latency)][p.benchmark] = p
+    rows = []
+    for (fi, lat), per in sorted(by_cfg.items()):
+        rows.append([f"{fi}", f"{lat}"] + [
+            f"-{100 * per[b].performance_decrease:.0f}% "
+            f"(ROB {per[b].rob_mean_occupancy:.0f})" for b in BENCHES])
+    print()
+    print(format_table(["FI", "latency"] + list(BENCHES), rows,
+                       title="Figure 5 (reproduced): Reunion performance "
+                             "decrease vs baseline"))
+
+    series = defaultdict(list)
+    for p in sorted(points, key=lambda x: (x.benchmark,
+                                           x.fingerprint_interval)):
+        series[p.benchmark].append(p)
+
+    for bench, pts in series.items():
+        # monotone degradation along the paper's diagonal sweep
+        decreases = [p.performance_decrease for p in pts]
+        assert all(b >= a - 0.02 for a, b in zip(decreases, decreases[1:])), bench
+        # ROB occupancy climbs with it (the paper's causal mechanism)
+        assert pts[-1].rob_mean_occupancy > pts[0].rob_mean_occupancy, bench
+
+    # the paper's operating point: FI=30/lat=40 lands in the tens of
+    # percent for the ROB-hungry pair (27% and 41% in the paper)
+    at_30_40 = {p.benchmark: p for p in points
+                if (p.fingerprint_interval, p.comparison_latency) == (30, 40)}
+    assert 0.2 <= at_30_40["ammp"].performance_decrease <= 0.7
+    assert 0.2 <= at_30_40["galgel"].performance_decrease <= 0.7
+
+    # "UnSync is not affected": same sweep leaves UnSync untouched (it has
+    # no FI/latency knob — verify its overhead stays flat on ammp)
+    prog = load_benchmark("ammp")
+    base = baseline_run(prog)
+    uns = run_scheme("unsync", prog)
+    assert uns.cycles / base.cycles - 1 < 0.10
+
+    benchmark.extra_info.update({
+        "ammp_at_fi30_lat40": round(at_30_40["ammp"].performance_decrease, 3),
+        "galgel_at_fi30_lat40": round(at_30_40["galgel"].performance_decrease, 3),
+        "paper": {"ammp": 0.27, "galgel": 0.41},
+    })

@@ -1,0 +1,42 @@
+"""Table I — simulated baseline CMP parameters.
+
+Regenerates the configuration table and pins every row to the paper's
+values (this is the contract every other experiment builds on).
+"""
+
+from repro.core.config import SystemConfig
+from repro.harness.report import format_table
+
+
+PAPER_ROWS = {
+    "Issue Queue": "64",
+}
+
+
+def test_table1_parameters(benchmark):
+    def build():
+        return SystemConfig.table1()
+
+    cfg = benchmark(build)
+    desc = cfg.describe()
+    print()
+    print(format_table(["Parameter", "Configuration"],
+                       list(desc.items()), title="Table I (reproduced)"))
+
+    assert cfg.n_cores == 4
+    assert cfg.core.fetch_width == 4
+    assert cfg.core.iq_entries == 64
+    assert cfg.icache.size_bytes == 32 * 1024
+    assert cfg.icache.assoc == 2
+    assert cfg.icache.hit_latency == 2
+    assert cfg.icache.line_bytes == 64
+    assert cfg.l1_mshrs == 10
+    assert cfg.l2.size_bytes == 4 * 1024 * 1024
+    assert cfg.l2.assoc == 8
+    assert cfg.l2.hit_latency == 20
+    assert cfg.l2_mshrs == 20
+    assert cfg.itlb.entries == 48 and cfg.itlb.assoc == 2
+    assert cfg.dtlb.entries == 64 and cfg.dtlb.assoc == 2
+    assert cfg.dram_latency == 400
+    assert cfg.bus_width_bytes * 8 == 64
+    benchmark.extra_info["rows"] = desc

@@ -1,0 +1,66 @@
+"""Table II — hardware overhead comparison (area/power).
+
+Regenerates all ten rows of Table II from the component cost model and
+checks every cell against the paper within 1%.
+"""
+
+import pytest
+
+from repro.harness.report import format_table
+from repro.hwcost.synthesis import table2
+
+PAPER = {
+    # (mips, reunion, unsync)
+    "core_area_um2": (98558, 144005, 115945),
+    "l1_area_mm2": (0.1934, 0.2086, 0.1939),
+    "total_area_um2": (291958, 352605, 313715),
+    "area_overhead": (None, 0.2077, 0.0745),
+    "core_power_w": (1.153, 2.038, 1.635),
+    "l1_power_mw": (38.35, 42.15, 38.45),
+    "total_power_w": (1.19, 2.08, 1.67),
+    "power_overhead": (None, 0.7479, 0.4034),
+}
+
+
+def test_table2(benchmark):
+    report = benchmark(table2)
+
+    print()
+    rows = [[k] + v for k, v in report.rows().items()]
+    print(format_table(["Parameter", "Basic MIPS", "Reunion", "UnSync"],
+                       rows, title="Table II (reproduced)"))
+
+    cols = (report.mips, report.reunion, report.unsync)
+    measured = {
+        "core_area_um2": tuple(c.core_area_um2 for c in cols),
+        "l1_area_mm2": tuple(c.l1_area_mm2 for c in cols),
+        "total_area_um2": tuple(c.total_area_um2 for c in cols),
+        "core_power_w": tuple(c.core_power_w for c in cols),
+        "l1_power_mw": tuple(c.l1_power_mw for c in cols),
+        "total_power_w": tuple(c.total_power_w for c in cols),
+    }
+    for key, expected in measured.items():
+        for got, want in zip(expected, PAPER[key]):
+            assert got == pytest.approx(want, rel=0.01), key
+
+    reunion_area = report.reunion.area_overhead_vs(report.mips)
+    unsync_area = report.unsync.area_overhead_vs(report.mips)
+    reunion_power = report.reunion.power_overhead_vs(report.mips)
+    unsync_power = report.unsync.power_overhead_vs(report.mips)
+    assert reunion_area == pytest.approx(0.2077, rel=0.01)
+    assert unsync_area == pytest.approx(0.0745, rel=0.01)
+    assert reunion_power == pytest.approx(0.7479, rel=0.01)
+    assert unsync_power == pytest.approx(0.4034, rel=0.01)
+
+    # the abstract's headline claims
+    assert unsync_area < reunion_area                       # UnSync smaller
+    assert (reunion_power - unsync_power) == pytest.approx(0.345, rel=0.03)
+
+    benchmark.extra_info.update({
+        "reunion_area_overhead": round(reunion_area, 4),
+        "unsync_area_overhead": round(unsync_area, 4),
+        "reunion_power_overhead": round(reunion_power, 4),
+        "unsync_power_overhead": round(unsync_power, 4),
+        "paper": {"reunion_area": 0.2077, "unsync_area": 0.0745,
+                  "reunion_power": 0.7479, "unsync_power": 0.4034},
+    })

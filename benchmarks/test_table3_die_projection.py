@@ -1,0 +1,47 @@
+"""Table III — projected die sizes of real many-core processors."""
+
+import pytest
+
+from repro.harness.report import format_table
+from repro.hwcost.die import table3
+
+PAPER = {
+    "Intel Polaris": (316.54, 289.9, 26.64),
+    "Tilera Tile64": (377.85, 347.16, 30.69),
+    "NVIDIA GeForce": (549.76, 498.61, 51.15),
+}
+
+
+def test_table3(benchmark):
+    projections = benchmark(table3)
+
+    rows = []
+    for proj in projections:
+        p = proj.processor
+        rows.append([p.name, p.n_cores, p.per_core_area_mm2,
+                     f"{p.die_area_mm2:.0f}",
+                     f"{proj.reunion_die_mm2:.2f}",
+                     f"{proj.unsync_die_mm2:.2f}",
+                     f"{proj.difference_mm2:.2f}"])
+    print()
+    print(format_table(
+        ["Processor", "n", "core mm2", "orig die", "Reunion DA",
+         "UnSync DA", "DA_Reunion - DA_UnSync"], rows,
+        title="Table III (reproduced)"))
+
+    for proj in projections:
+        reunion, unsync, diff = PAPER[proj.processor.name]
+        assert proj.reunion_die_mm2 == pytest.approx(reunion, rel=0.005)
+        assert proj.unsync_die_mm2 == pytest.approx(unsync, rel=0.005)
+        assert proj.difference_mm2 == pytest.approx(diff, rel=0.02)
+        assert proj.difference_mm2 > 0  # UnSync always the smaller die
+
+    # paper's observation 1: the Polaris->GeForce gap roughly doubles with
+    # ~50% more cores (total core area 200 -> 384 mm^2)
+    by_name = {p.processor.name: p for p in projections}
+    ratio = (by_name["NVIDIA GeForce"].difference_mm2
+             / by_name["Intel Polaris"].difference_mm2)
+    assert ratio == pytest.approx(2.0, rel=0.1)
+
+    benchmark.extra_info["differences_mm2"] = {
+        p.processor.name: round(p.difference_mm2, 2) for p in projections}

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the knobs a system architect would sweep.
+
+Reproduces, at exploration scale, the two sensitivity studies of the
+paper's evaluation:
+
+* Reunion's fingerprint interval x comparison latency grid (Figure 5) —
+  how deferred commit eats into the ROB;
+* UnSync's Communication Buffer sizing (Figure 6) — where the
+  back-pressure knee sits.
+
+Run:  python examples/design_space.py
+"""
+
+from collections import defaultdict
+
+from repro.harness import fig5_fi_latency, fig6_cb_size
+from repro.harness.report import print_table
+
+
+def main() -> None:
+    print("Sweeping Reunion (FI, comparison latency) on two ROB-hungry and"
+          " one modest benchmark...\n")
+    points = fig5_fi_latency(benchmarks=("ammp", "galgel", "sha"))
+    by_cfg = defaultdict(dict)
+    benches = []
+    for p in points:
+        by_cfg[(p.fingerprint_interval, p.comparison_latency)][p.benchmark] = p
+        if p.benchmark not in benches:
+            benches.append(p.benchmark)
+    rows = []
+    for (fi, lat), per_bench in sorted(by_cfg.items()):
+        row = [f"FI={fi}", f"lat={lat}"]
+        for b in benches:
+            p = per_bench[b]
+            row.append(f"-{100 * p.performance_decrease:.0f}% "
+                       f"(ROB {p.rob_mean_occupancy:.0f})")
+        rows.append(row)
+    print_table(["interval", "latency"] + benches, rows,
+                title="Figure 5: Reunion performance decrease "
+                      "(mean ROB occupancy in parens)")
+
+    print("\nSweeping UnSync CB size on store-heavy benchmarks...\n")
+    points = fig6_cb_size(benchmarks=("bzip2", "susan"))
+    by_bench = defaultdict(list)
+    for p in points:
+        by_bench[p.benchmark].append(p)
+    rows = []
+    for bench, ps in by_bench.items():
+        for p in sorted(ps, key=lambda x: x.cb_kb):
+            rows.append([bench, f"{p.cb_kb} KB", p.cb_entries,
+                         f"{p.ipc_normalized:.3f}", p.cb_full_stalls])
+    print_table(["benchmark", "CB size", "entries", "IPC vs baseline",
+                 "CB-full stalls"], rows,
+                title="Figure 6: UnSync vs CB size")
+
+    print("\nReading: small CBs stall commit during store bursts; by 2 KB "
+          "the stalls are gone\nand UnSync is back at baseline speed — "
+          "the paper's Figure 6 knee.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Fault-injection demo: watch both architectures survive particle strikes.
+
+Runs the same workload under an (absurdly) aggressive soft-error rate so
+that recoveries actually happen within a kernel-sized run, then shows:
+
+* UnSync detecting strikes with its parity/DMR blocks, freezing the pair,
+  and copying state forward (always-forward recovery, no re-execution on
+  the clean core);
+* Reunion catching corrupted outputs via CRC-16 fingerprint mismatch and
+  rolling both cores back;
+* that in every case the architectural output still matches the golden
+  run — the whole point of both schemes.
+
+Run:  python examples/fault_injection_demo.py
+"""
+
+from collections import Counter
+
+from repro import FaultInjector, UnSyncConfig, golden_run
+from repro.faults.injector import BlockInventory, Block
+from repro.harness import run_scheme
+from repro.unsync.recovery import RecoveryCostModel
+from repro.workloads import load_benchmark
+
+#: one strike every ~1500 cycles — ~10 orders of magnitude above reality,
+#: purely so a kernel-sized run sees a handful of events. (It must still
+#: stay well above the recovery time, or the pair can never make forward
+#: progress — a real constraint the paper's break-even analysis is about.)
+DEMO_RATE = 1.0 / 1500.0
+
+#: cheap L1 restore (invalidate; legal because the L1 is write-through)
+#: so recoveries complete quickly at this silly strike rate.
+DEMO_UNSYNC = UnSyncConfig(recovery=RecoveryCostModel(l1_restore="invalidate"))
+
+
+def outcome_histogram(events) -> str:
+    counts = Counter(e.outcome.value if e.outcome else "pending"
+                     for e in events)
+    return ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+
+
+def main() -> None:
+    program = load_benchmark("gzip")
+    gold = golden_run(program)
+    print(f"workload: {program.name}, {gold.instructions} instructions\n")
+
+    print("=== UnSync under fire ===")
+    res = run_scheme("unsync", program, unsync_config=DEMO_UNSYNC,
+                     injector=FaultInjector(DEMO_RATE, seed=2024))
+    ok = res.state.regs == gold.state.regs and res.state.mem == gold.state.mem
+    print(f"strikes: {len(res.fault_events)}  "
+          f"recoveries: {res.extra['recoveries']:.0f}  "
+          f"recovery cycles: {res.extra['recovery_cycles']:.0f}")
+    print(f"outcomes: {outcome_histogram(res.fault_events)}")
+    print(f"cycles: {res.cycles} (IPC {res.ipc:.2f})  "
+          f"output correct: {ok}\n")
+    assert ok, "UnSync produced a wrong result under injection!"
+
+    print("=== Reunion under fire ===")
+    # Restrict the strikes to pre-commit state so the fingerprint path is
+    # exercised (uniform strikes overwhelmingly land in the big L1
+    # arrays, which SECDED silently corrects without any rollback).
+    pipeline_blocks = BlockInventory([
+        Block("pipeline_regs", 4 * 4 * 128, pre_commit=True),
+        Block("rob", 80 * 72, pre_commit=True),
+    ])
+    res = run_scheme("reunion", program,
+                     injector=FaultInjector(DEMO_RATE, seed=7,
+                                            inventory=pipeline_blocks))
+    ok = res.state.regs == gold.state.regs and res.state.mem == gold.state.mem
+    print(f"strikes: {len(res.fault_events)}  "
+          f"fingerprint mismatches: {res.extra['mismatches']:.0f}  "
+          f"rollbacks: {res.extra['rollbacks']:.0f}  "
+          f"CRC aliases: {res.extra['aliased_corruptions']:.0f}")
+    print(f"outcomes: {outcome_histogram(res.fault_events)}")
+    print(f"cycles: {res.cycles} (IPC {res.ipc:.2f})  "
+          f"output correct: {ok}")
+    assert ok, "Reunion produced a wrong result under injection!"
+
+    print("\nBoth machines absorbed every detected strike; the corrupted-"
+          "output events\nReunion flags roll back, UnSync's copy-forward "
+          "recovery never re-executes\nthe clean core — exactly the "
+          "trade-off Sec III-B-2 of the paper describes.")
+
+
+if __name__ == "__main__":
+    main()

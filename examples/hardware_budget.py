@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Hardware budgeting: Table II and Table III, plus your own chip.
+
+Uses the synthesis cost model (the Cadence/CACTI substitute, anchored to
+the paper's published per-component numbers) to:
+
+* print the full Table II area/power comparison;
+* project Table III's die sizes for the three real many-core chips;
+* project a hypothetical 256-core design, showing how the
+  Reunion-vs-UnSync die-area gap scales with core count (the paper's
+  closing argument).
+
+Run:  python examples/hardware_budget.py
+"""
+
+from repro.hwcost.die import ManyCore, project_die, table3
+from repro.hwcost.synthesis import table2
+from repro.harness.report import print_table
+
+
+def main() -> None:
+    report = table2()
+    rows = [[param] + list(values)
+            for param, values in report.rows().items()]
+    print_table(["parameter", "Basic MIPS", "Reunion", "UnSync"], rows,
+                title="Table II — hardware overhead comparison "
+                      "(65 nm, 300 MHz, FI=10, CB=10)")
+
+    print()
+    rows = []
+    for proj in table3(report):
+        p = proj.processor
+        rows.append([p.name, p.n_cores, f"{p.per_core_area_mm2}",
+                     f"{p.die_area_mm2:.0f}",
+                     f"{proj.reunion_die_mm2:.2f}",
+                     f"{proj.unsync_die_mm2:.2f}",
+                     f"{proj.difference_mm2:.2f}"])
+    print_table(["processor", "cores", "core mm2", "orig die",
+                 "Reunion die", "UnSync die", "difference"], rows,
+                title="Table III — projected die sizes")
+
+    print()
+    future = ManyCore("Hypothetical 256-core", 65, 256, 2.0, 560.0)
+    proj = project_die(future, report=report)
+    print(f"Scaling out: a {future.n_cores}-core, "
+          f"{future.per_core_area_mm2} mm²/core design:")
+    print(f"  Reunion die {proj.reunion_die_mm2:.1f} mm², "
+          f"UnSync die {proj.unsync_die_mm2:.1f} mm² — "
+          f"UnSync saves {proj.difference_mm2:.1f} mm² of silicon.")
+    print("The gap grows linearly in total core area, which is the "
+          "paper's Sec VI-A-2 argument\nfor UnSync in large many-core "
+          "parts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip falls back to ``setup.py develop``). All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

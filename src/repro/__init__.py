@@ -1,0 +1,49 @@
+"""repro — reproduction of *UnSync: A Soft Error Resilient Redundant
+Multicore Architecture* (Jeyapaul et al., ICPP 2011).
+
+Quick start::
+
+    from repro import load_benchmark, compare_schemes
+
+    program = load_benchmark("bzip2")
+    cmp = compare_schemes(program)
+    print(f"Reunion overhead {cmp.reunion_overhead:+.1%}, "
+          f"UnSync overhead {cmp.unsync_overhead:+.1%}")
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.isa` — mini-ISA, assembler, golden executor (substrate)
+* :mod:`repro.mem` — caches, TLBs, bus, L2, DRAM timing models (substrate)
+* :mod:`repro.core` — cycle-level out-of-order core (substrate)
+* :mod:`repro.faults` — SER math, strike injection, detector models
+* :mod:`repro.unsync` — **the paper's contribution**: CB + EIH +
+  always-forward recovery
+* :mod:`repro.reunion` — the fingerprinting baseline
+* :mod:`repro.hwcost` — synthesis/CACTI substitute (Tables II, III)
+* :mod:`repro.workloads` — synthetic SPEC2000/MiBench suite
+* :mod:`repro.harness` — one experiment driver per table/figure
+"""
+
+__version__ = "0.1.0"
+
+from repro.isa import assemble, Program
+from repro.isa.golden import run as golden_run
+from repro.core import Core, SystemConfig, CoreConfig
+from repro.redundancy import BaselineSystem, RunResult
+from repro.unsync import UnSyncSystem, UnSyncConfig
+from repro.reunion import ReunionSystem, ReunionParams
+from repro.faults import FaultInjector, SERModel
+from repro.workloads import load_benchmark, load_kernel, benchmark_names
+from repro.harness import compare_schemes, run_scheme
+
+__all__ = [
+    "__version__",
+    "assemble", "Program", "golden_run",
+    "Core", "SystemConfig", "CoreConfig",
+    "BaselineSystem", "RunResult",
+    "UnSyncSystem", "UnSyncConfig",
+    "ReunionSystem", "ReunionParams",
+    "FaultInjector", "SERModel",
+    "load_benchmark", "load_kernel", "benchmark_names",
+    "compare_schemes", "run_scheme",
+]

@@ -1,0 +1,27 @@
+"""Checkpoint-based fingerprinting (Smolens et al., IEEE Micro 2004).
+
+The third point on the paper's related-work spectrum (Sec II):
+"Fingerprinting is a checkpointing scheme designed to minimize hardware
+changes ... Mismatches trigger a rollback to a known good checkpoint ...
+such techniques can be implemented cheaply, however they rely on
+heavy-weight checkpointing mechanisms that capture all of system state
+(including memory) and increase error detection latency."
+
+This package implements that scheme over the same substrate so the
+trade-off the paper cites becomes measurable: long checkpoint intervals
+amortise the (expensive, memory-inclusive) checkpoint cost but stretch
+the detection latency and the rollback loss; short intervals invert it.
+
+* :class:`~repro.checkpoint.store.CheckpointStore` — bounded set of
+  architectural+memory snapshots with cost accounting;
+* :class:`~repro.checkpoint.system.CheckpointSystem` — the redundant
+  pair: CRC-16 fingerprints accumulated over whole checkpoint intervals,
+  compared at checkpoint creation; mismatch rolls both cores back to the
+  last good checkpoint.
+"""
+
+from repro.checkpoint.store import Checkpoint, CheckpointStore
+from repro.checkpoint.system import CheckpointParams, CheckpointSystem
+
+__all__ = ["Checkpoint", "CheckpointStore",
+           "CheckpointParams", "CheckpointSystem"]

@@ -1,0 +1,94 @@
+"""Checkpoint storage with cost accounting.
+
+A checkpoint captures the *full* architectural state — registers, PC,
+and the memory image — which is exactly the "heavy-weight" property the
+UnSync paper holds against the scheme. The capture cost model charges
+for the registers plus every memory byte that changed since the previous
+checkpoint (incremental checkpointing, the charitable implementation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.golden import ArchState
+
+
+def _copy_state(state: ArchState) -> ArchState:
+    new = ArchState()
+    new.regs = list(state.regs)
+    new.mem = dict(state.mem)
+    new.pc = state.pc
+    return new
+
+
+@dataclass
+class Checkpoint:
+    """One captured machine state."""
+
+    seq: int                  # committed-instruction watermark
+    cycle: int                # capture time
+    state: ArchState
+    #: bytes that had to be saved (delta vs previous checkpoint)
+    delta_bytes: int
+
+
+class CheckpointStore:
+    """Bounded LIFO of checkpoints (old ones retire as new ones verify).
+
+    ``capacity`` bounds how many unverified checkpoints may exist; the
+    scheme must stall when full (checkpoint pressure — the analogue of
+    UnSync's CB back-pressure).
+    """
+
+    REG_BYTES = 32 * 4 + 4    # ARF + PC
+
+    def __init__(self, capacity: int = 2) -> None:
+        if capacity < 1:
+            raise ValueError("need at least one checkpoint slot")
+        self.capacity = capacity
+        self._stack: List[Checkpoint] = []
+        self.captures = 0
+        self.bytes_captured = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    @property
+    def full(self) -> bool:
+        return len(self._stack) >= self.capacity
+
+    def can_capture(self) -> bool:
+        if self.full:
+            self.full_stalls += 1
+            return False
+        return True
+
+    def capture(self, seq: int, cycle: int, state: ArchState) -> Checkpoint:
+        """Snapshot ``state``; cost = registers + memory delta."""
+        if self.full:
+            raise RuntimeError("capture into full checkpoint store")
+        prev_mem = self._stack[-1].state.mem if self._stack else {}
+        delta = sum(1 for addr, val in state.mem.items()
+                    if prev_mem.get(addr) != val)
+        delta += sum(1 for addr in prev_mem if addr not in state.mem)
+        cp = Checkpoint(seq=seq, cycle=cycle, state=_copy_state(state),
+                        delta_bytes=self.REG_BYTES + delta)
+        self._stack.append(cp)
+        self.captures += 1
+        self.bytes_captured += cp.delta_bytes
+        return cp
+
+    def newest(self) -> Optional[Checkpoint]:
+        return self._stack[-1] if self._stack else None
+
+    def retire_oldest(self) -> Optional[Checkpoint]:
+        """Free the oldest checkpoint once everything up to the next one
+        has been verified."""
+        return self._stack.pop(0) if self._stack else None
+
+    def rollback_target(self) -> Optional[Checkpoint]:
+        """The newest *verified* checkpoint is always the stack base."""
+        return self._stack[0] if self._stack else None

@@ -1,0 +1,409 @@
+"""Command-line interface.
+
+Everything the library does, runnable from a shell::
+
+    python -m repro list                         # workloads
+    python -m repro run bzip2 --scheme unsync    # one simulation
+    python -m repro compare gzip                 # baseline/unsync/reunion
+    python -m repro asm my_kernel.s              # assemble + golden-run
+    python -m repro table1|table2|table3         # the paper's tables
+    python -m repro fig4|fig5|fig6               # the paper's figures
+    python -m repro ser|roec|breakeven           # Sec VI-C / VI-D
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from collections import defaultdict
+from typing import List, Optional
+
+from repro.harness.report import format_table, pct
+
+
+def _cmd_list(args) -> int:
+    from repro.workloads import ALL_BENCHMARKS, KERNELS
+    rows = [(name, p.suite, f"{100 * p.serializing_pct:.1f}%",
+             f"{100 * p.store_pct:.0f}%", p.ilp.name,
+             f"{p.working_set_kb}KB")
+            for name, p in sorted(ALL_BENCHMARKS.items())]
+    print(format_table(
+        ["benchmark", "suite", "serializing", "stores", "ILP", "ws"],
+        rows, title="Synthetic benchmarks"))
+    print()
+    print(format_table(["kernel"], [(k,) for k in sorted(KERNELS)],
+                       title="Hand-written kernels"))
+    return 0
+
+
+def _load_program(name: str):
+    from repro.isa.assembler import assemble
+    from repro.workloads import ALL_BENCHMARKS, KERNELS, load_benchmark, \
+        load_kernel
+    if name in ALL_BENCHMARKS:
+        return load_benchmark(name)
+    if name in KERNELS:
+        return load_kernel(name)
+    try:
+        with open(name) as fh:
+            return assemble(fh.read(), name=name)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"error: {name!r} is not a benchmark, kernel, or readable "
+            f"assembly file (try `python -m repro list`)")
+
+
+def _cmd_run(args) -> int:
+    from repro.faults.injector import FaultInjector
+    from repro.harness.runner import run_scheme
+    program = _load_program(args.workload)
+    kwargs = {}
+    if getattr(args, "config", None):
+        from repro.core.configio import load as load_config
+        kwargs["config"] = load_config(args.config)
+    if args.inject > 0:
+        kwargs["injector"] = FaultInjector(args.inject, seed=args.seed)
+        if args.scheme == "baseline":
+            raise SystemExit("error: the unprotected baseline cannot take "
+                             "--inject (no detectors to fire)")
+    res = run_scheme(args.scheme, program, **kwargs)
+    rows = [("scheme", res.scheme), ("workload", res.name),
+            ("cycles", res.cycles), ("instructions", res.instructions),
+            ("IPC", f"{res.ipc:.3f}")]
+    rows += [(k, f"{v:g}") for k, v in sorted(res.extra.items()) if v]
+    if res.fault_events:
+        rows.append(("fault events", len(res.fault_events)))
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.harness.runner import compare_schemes
+    program = _load_program(args.workload)
+    cmp = compare_schemes(program)
+    print(format_table(
+        ["machine", "cycles", "IPC", "overhead"],
+        [("baseline", cmp.baseline.cycles, f"{cmp.baseline.ipc:.2f}", "—"),
+         ("unsync", cmp.unsync.cycles, f"{cmp.unsync.ipc:.2f}",
+          pct(cmp.unsync_overhead)),
+         ("reunion", cmp.reunion.cycles, f"{cmp.reunion.ipc:.2f}",
+          pct(cmp.reunion_overhead))],
+        title=f"{program.name}: scheme comparison"))
+    print(f"UnSync over Reunion: {pct(cmp.unsync_speedup_over_reunion)}")
+    return 0
+
+
+def _cmd_asm(args) -> int:
+    from repro.isa import golden
+    program = _load_program(args.file)
+    res = golden.run(program, max_instructions=args.max_instructions)
+    print(f"{program.name}: {len(program)} static / "
+          f"{res.instructions} dynamic instructions, "
+          f"halted={res.halted}")
+    hist = sorted(res.class_counts.items(), key=lambda kv: -kv[1])
+    print(format_table(["class", "count", "%"],
+                       [(k, v, f"{100 * v / res.instructions:.1f}")
+                        for k, v in hist]))
+    if "result" in program.labels:
+        addr = program.labels["result"]
+        print(f"result @ {addr:#x} = {res.state.read_mem(addr, 4)}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.core.config import SystemConfig
+    desc = SystemConfig.table1().describe()
+    print(format_table(["Parameter", "Configuration"], list(desc.items()),
+                       title="Table I"))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.hwcost.synthesis import table2
+    rows = [[k] + v for k, v in table2().rows().items()]
+    print(format_table(["Parameter", "Basic MIPS", "Reunion", "UnSync"],
+                       rows, title="Table II"))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    from repro.hwcost.die import table3
+    rows = []
+    for proj in table3():
+        p = proj.processor
+        rows.append([p.name, p.n_cores, f"{proj.reunion_die_mm2:.2f}",
+                     f"{proj.unsync_die_mm2:.2f}",
+                     f"{proj.difference_mm2:.2f}"])
+    print(format_table(["Processor", "cores", "Reunion die (mm2)",
+                        "UnSync die (mm2)", "difference"], rows,
+                       title="Table III"))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.harness.experiments import FIG4_DEFAULT, fig4_serializing
+    benches = args.benchmarks or list(FIG4_DEFAULT)
+    rows = fig4_serializing(benchmarks=benches)
+    print(format_table(
+        ["benchmark", "serializing", "Reunion", "UnSync"],
+        [(r.benchmark, f"{100 * r.serializing_pct:.2f}%",
+          pct(r.reunion_overhead), pct(r.unsync_overhead)) for r in rows],
+        title="Figure 4: overhead vs baseline"))
+    print(f"average: Reunion "
+          f"{pct(statistics.mean(r.reunion_overhead for r in rows))}, "
+          f"UnSync {pct(statistics.mean(r.unsync_overhead for r in rows))}")
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from repro.harness.experiments import FIG5_GRID, fig5_fi_latency
+    benches = args.benchmarks or ["ammp", "galgel"]
+    points = fig5_fi_latency(benchmarks=benches)
+    by_cfg = defaultdict(dict)
+    for p in points:
+        by_cfg[(p.fingerprint_interval, p.comparison_latency)][p.benchmark] = p
+    rows = []
+    for (fi, lat), per in sorted(by_cfg.items()):
+        rows.append([fi, lat] + [
+            f"-{100 * per[b].performance_decrease:.0f}%" for b in benches])
+    print(format_table(["FI", "latency"] + benches, rows,
+                       title="Figure 5: Reunion performance decrease"))
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.harness.experiments import FIG6_SIZES_KB, fig6_cb_size
+    benches = args.benchmarks or ["bzip2", "susan"]
+    points = fig6_cb_size(benchmarks=benches)
+    by_bench = defaultdict(list)
+    for p in points:
+        by_bench[p.benchmark].append(p)
+    rows = []
+    for bench, ps in by_bench.items():
+        ps.sort(key=lambda p: p.cb_kb)
+        rows.append([bench] + [f"{p.ipc_normalized:.3f}" for p in ps])
+    print(format_table(["benchmark"] + [f"{kb}KB" for kb in FIG6_SIZES_KB],
+                       rows, title="Figure 6: UnSync IPC vs baseline"))
+    return 0
+
+
+def _cmd_ser(args) -> int:
+    from repro.harness.experiments import ser_sweep
+    points = ser_sweep(benchmark=args.benchmark)
+    print(format_table(
+        ["SER/instruction", "UnSync IPC", "Reunion IPC"],
+        [(f"{p.ser_per_instruction:.0e}", f"{p.unsync_ipc:.3f}",
+          f"{p.reunion_ipc:.3f}") for p in points],
+        title="Sec VI-C: IPC vs SER"))
+    return 0
+
+
+def _cmd_breakeven(args) -> int:
+    from repro.harness.experiments import break_even_analysis
+    be = break_even_analysis(benchmark=args.benchmark)
+    print(format_table(["metric", "value"], [
+        ("error-free advantage (cycles/instr)",
+         f"{be.measured_advantage_cycles_per_instruction:.4f}"),
+        ("recovery penalty, L1 copy", f"{be.recovery_penalty_cycles_copy:.0f}"),
+        ("recovery penalty, L1 invalidate",
+         f"{be.recovery_penalty_cycles_invalidate:.0f}"),
+        ("break-even SER (copy)", f"{be.break_even_ser_copy:.2e}"),
+        ("break-even SER (invalidate)",
+         f"{be.break_even_ser_invalidate:.2e}"),
+        ("paper break-even", f"{be.paper_break_even:.2e}"),
+    ], title="Sec VI-C: break-even analysis"))
+    return 0
+
+
+def _cmd_roec(args) -> int:
+    from repro.harness.experiments import roec_coverage
+    rows = roec_coverage()
+    print(format_table(
+        ["architecture", "accounting", "coverage"],
+        [(r.architecture, r.accounting, f"{100 * r.coverage:.1f}%")
+         for r in rows],
+        title="Sec VI-D: region of error coverage"))
+    return 0
+
+
+def _cmd_energy(args) -> int:
+    from repro.harness.energy import compare_energy
+    from repro.harness.runner import compare_schemes
+    program = _load_program(args.workload)
+    cmp = compare_schemes(program)
+    reports = compare_energy({"baseline": cmp.baseline,
+                              "unsync": cmp.unsync,
+                              "reunion": cmp.reunion})
+    rows = []
+    for scheme, rep in reports.items():
+        res = {"baseline": cmp.baseline, "unsync": cmp.unsync,
+               "reunion": cmp.reunion}[scheme]
+        rows.append([scheme, res.cycles,
+                     f"{rep.total_energy_j * 1e6:.1f}",
+                     f"{rep.energy_per_instruction_nj(res.instructions):.2f}",
+                     f"{rep.edp * 1e9:.2f}"])
+    print(format_table(
+        ["scheme", "cycles", "energy (uJ)", "nJ/instr", "EDP (nJ*s)"],
+        rows, title=f"{program.name}: energy at the 300 MHz / 65 nm "
+                    f"synthesis corner"))
+    uns, reu = reports["unsync"], reports["reunion"]
+    print(f"UnSync saves {1 - uns.total_energy_j / reu.total_energy_j:.1%} "
+          f"energy and {1 - uns.edp / reu.edp:.1%} EDP vs Reunion")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness.markdown import measured_report
+    text = measured_report(args.sections)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.harness.plot import line_chart
+    from repro.harness.sensitivity import elasticity, sweep
+    program = _load_program(args.workload)
+    points = sweep(program, args.parameter, args.values,
+                   schemes=tuple(args.schemes))
+    rows = [(p.value, p.scheme, p.cycles, f"{p.ipc:.2f}") for p in points]
+    print(format_table([args.parameter, "scheme", "cycles", "IPC"], rows))
+    series = {}
+    for p in points:
+        series.setdefault(p.scheme, []).append((float(p.value), p.ipc))
+    print()
+    print(line_chart(series, title=f"IPC vs {args.parameter} "
+                                   f"({program.name})",
+                     x_label=args.parameter))
+    for scheme in args.schemes:
+        print(f"elasticity[{scheme}] = "
+              f"{elasticity(points, scheme):+.3f}")
+    return 0
+
+
+def _cmd_config_dump(args) -> int:
+    import json
+    from repro.core.config import SystemConfig
+    from repro.core.configio import to_dict
+    print(json.dumps(to_dict(SystemConfig.table1()), indent=2))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.trace import PipelineTracer, render_timeline
+    from repro.redundancy.pair import BaselineSystem
+    from repro.reunion.system import ReunionSystem
+    from repro.unsync.system import UnSyncSystem
+    program = _load_program(args.workload)
+    cls = {"baseline": BaselineSystem, "unsync": UnSyncSystem,
+           "reunion": ReunionSystem}[args.scheme]
+    system = cls(program)
+    tracer = PipelineTracer()
+    pipelines = ([system.pipeline] if args.scheme == "baseline"
+                 else system.pipelines)
+    pipelines[0].tracer = tracer
+    system.run()
+    print(render_timeline(tracer, first_seq=args.start, count=args.count))
+    print(f"\nmean completed-to-retire wait: "
+          f"{tracer.mean_commit_wait():.1f} cycles "
+          f"(this is where redundancy gates bite)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UnSync (ICPP 2011) reproduction — simulators, cost "
+                    "models, and the paper's experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("run", help="run one workload on one scheme")
+    p.add_argument("workload", help="benchmark, kernel, or .s file")
+    p.add_argument("--scheme", default="unsync",
+                   choices=["baseline", "unsync", "reunion"])
+    p.add_argument("--inject", type=float, default=0.0, metavar="RATE",
+                   help="per-cycle strike rate (e.g. 1e-3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--config", metavar="FILE.json",
+                   help="machine configuration (see `config-dump`)")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("config-dump",
+                       help="print the Table I machine as JSON")
+    p.set_defaults(fn=_cmd_config_dump)
+
+    p = sub.add_parser("compare", help="baseline vs UnSync vs Reunion")
+    p.add_argument("workload")
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("asm", help="assemble and golden-run a program")
+    p.add_argument("file")
+    p.add_argument("--max-instructions", type=int, default=1_000_000)
+    p.set_defaults(fn=_cmd_asm)
+
+    for name, fn in (("table1", _cmd_table1), ("table2", _cmd_table2),
+                     ("table3", _cmd_table3)):
+        sub.add_parser(name, help=f"print the paper's {name}").set_defaults(fn=fn)
+
+    for name, fn in (("fig4", _cmd_fig4), ("fig5", _cmd_fig5),
+                     ("fig6", _cmd_fig6)):
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        p.add_argument("--benchmarks", nargs="*", default=None)
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("ser", help="Sec VI-C SER sweep")
+    p.add_argument("--benchmark", default="gzip")
+    p.set_defaults(fn=_cmd_ser)
+
+    p = sub.add_parser("breakeven", help="Sec VI-C break-even analysis")
+    p.add_argument("--benchmark", default="bzip2")
+    p.set_defaults(fn=_cmd_breakeven)
+
+    sub.add_parser("roec", help="Sec VI-D coverage").set_defaults(fn=_cmd_roec)
+
+    p = sub.add_parser("energy", help="energy / EDP comparison across "
+                                      "schemes")
+    p.add_argument("workload")
+    p.set_defaults(fn=_cmd_energy)
+
+    p = sub.add_parser("report", help="regenerate the measured-results "
+                                      "markdown document")
+    p.add_argument("--sections", nargs="*", default=None,
+                   help="subset: table2 table3 fig4 roec")
+    p.add_argument("--out", metavar="FILE.md", default=None)
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("sweep", help="one-parameter sensitivity sweep")
+    p.add_argument("workload")
+    p.add_argument("parameter")
+    p.add_argument("values", nargs="+", type=int)
+    p.add_argument("--schemes", nargs="*",
+                   default=["baseline", "unsync", "reunion"])
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("trace", help="pipeline diagram for a workload's "
+                                     "first N instructions")
+    p.add_argument("workload")
+    p.add_argument("--scheme", default="baseline",
+                   choices=["baseline", "unsync", "reunion"])
+    p.add_argument("--start", type=int, default=0, metavar="SEQ")
+    p.add_argument("--count", type=int, default=24)
+    p.set_defaults(fn=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Core and system configuration (the paper's Table I).
+
+All geometric parameters of the simulated machines live here so that every
+experiment names its configuration explicitly and the Table I defaults are
+written down exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.mem.cache import CacheConfig, WritePolicy
+from repro.mem.tlb import TLBConfig
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """One out-of-order core.
+
+    Defaults follow Table I (Alpha 21264-class, 2 GHz, out-of-order,
+    4-wide fetch/issue/commit, 64-entry issue queue) plus conventional
+    21264-scale values for the structures Table I leaves implicit (ROB,
+    LSQ, functional-unit latencies, mispredict penalty).
+    """
+
+    fetch_width: int = 4
+    dispatch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    iq_entries: int = 64
+    rob_entries: int = 80          # Alpha 21264 in-flight window
+    lsq_entries: int = 32
+    n_alu: int = 4
+    n_mul: int = 1
+    n_div: int = 1
+    n_mem_ports: int = 2
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 12
+    branch_mispredict_penalty: int = 3
+    #: bimodal predictor table entries
+    predictor_entries: int = 2048
+    frequency_mhz: int = 2000
+
+    def scaled(self, **overrides) -> "CoreConfig":
+        """A copy with selected fields replaced (convenience for sweeps)."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Whole simulated CMP (Table I)."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    n_cores: int = 4
+    icache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=32 * 1024, assoc=2, line_bytes=64, hit_latency=2,
+        policy=WritePolicy.WRITE_THROUGH))
+    dcache: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=32 * 1024, assoc=2, line_bytes=64, hit_latency=2,
+        policy=WritePolicy.WRITE_THROUGH))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        size_bytes=4 * 1024 * 1024, assoc=8, line_bytes=64, hit_latency=20,
+        policy=WritePolicy.WRITE_BACK))
+    itlb: TLBConfig = field(default_factory=lambda: TLBConfig(entries=48, assoc=2))
+    dtlb: TLBConfig = field(default_factory=lambda: TLBConfig(entries=64, assoc=2))
+    l1_mshrs: int = 10
+    l2_mshrs: int = 20
+    dram_latency: int = 400
+    bus_width_bytes: int = 8
+
+    @classmethod
+    def table1(cls) -> "SystemConfig":
+        """The exact baseline configuration of Table I."""
+        return cls()
+
+    def describe(self) -> Dict[str, str]:
+        """Human-readable parameter dump mirroring Table I's rows."""
+        c = self.core
+        return {
+            "Processor Cores": (
+                f"{self.n_cores} logical cores, Alpha 21264-class, "
+                f"{c.frequency_mhz / 1000:g}GHz, out-of-order, "
+                f"{c.fetch_width}-wide fetch/issue/commit"),
+            "Issue Queue": str(c.iq_entries),
+            "L1 Cache": (
+                f"{self.icache.size_bytes // 1024}KB split I/D, "
+                f"{self.icache.assoc}-way, {self.l1_mshrs} MSHRs, "
+                f"{self.icache.hit_latency} cycle access latency, "
+                f"{self.icache.line_bytes}-byte/line"),
+            "Shared L2 Cache": (
+                f"{self.l2.size_bytes // (1024 * 1024)}MB, {self.l2.assoc}-way, "
+                f"{self.l2.line_bytes}-byte/line, "
+                f"{self.l2.hit_latency}-cycle access latency, "
+                f"{self.l2_mshrs} MSHRs"),
+            "I-TLB": f"{self.itlb.entries} entries, {self.itlb.assoc}-way",
+            "D-TLB": f"{self.dtlb.entries} entries, {self.dtlb.assoc}-way",
+            "Memory": (f"3GB, {self.bus_width_bytes * 8}-bit wide, "
+                       f"{self.dram_latency} cycles access latency"),
+        }

@@ -1,0 +1,496 @@
+"""The cycle-stepped out-of-order pipeline.
+
+One :class:`Pipeline` models one core. Each call to :meth:`Pipeline.step`
+advances one clock through, in order: commit -> writeback -> issue ->
+dispatch -> fetch (reverse pipeline order, the standard trick so that a
+slot freed this cycle is usable next cycle, not this one).
+
+Functional execution is *eager*: an oracle interpreter runs at fetch,
+attaching exact results, addresses and branch outcomes to each fetched
+instruction. A second architectural image advances at commit. In a
+fault-free run both images and the golden executor agree bit-for-bit
+(tests enforce this); fault experiments corrupt one of the images
+deliberately.
+
+Redundancy schemes attach at three points through a :class:`CommitGate`:
+
+* ``dispatch_allowed``   — Reunion's serializing-instruction drain;
+* ``on_complete``        — Reunion's CHECK-stage buffer admission
+  (a full CSB holds instructions in the execute stage);
+* ``can_commit``/``on_commit`` — fingerprint verification (Reunion) and
+  Communication Buffer admission (UnSync).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.core.branch import BimodalPredictor
+from repro.core.config import CoreConfig
+from repro.core.iq import IssueQueue
+from repro.core.lsq import LSQ
+from repro.core.rob import ROB, ROBEntry, EntryState
+from repro.isa.golden import ArchState, StepInfo, step_state
+from repro.isa.instructions import InstrClass, Instruction, Opcode
+from repro.isa.program import Program
+from repro.mem.hierarchy import MemPort
+
+
+class CommitGate:
+    """Hook interface for redundancy schemes. The default gates nothing."""
+
+    def dispatch_allowed(self, now: int) -> bool:
+        """False while the front end must stall (serializing drains)."""
+        return True
+
+    def on_dispatch(self, entry: ROBEntry, now: int) -> None:
+        """Observe a dispatch (fingerprint-group assignment lives here)."""
+
+    def on_complete(self, entry: ROBEntry, now: int) -> bool:
+        """Admit a finishing instruction into the post-execute buffer.
+
+        Returning False leaves the instruction in the execute stage; the
+        pipeline retries every cycle (Reunion: CSB full).
+        """
+        return True
+
+    def can_commit(self, entry: ROBEntry, now: int) -> bool:
+        """May the ROB head retire this cycle?"""
+        return True
+
+    def on_commit(self, entry: ROBEntry, now: int) -> None:
+        """Observe retirement (stores are handed downstream here)."""
+
+
+class NullGate(CommitGate):
+    """Explicit no-op gate for the unprotected baseline."""
+
+
+@dataclass
+class PipelineStats:
+    """Per-core run statistics."""
+
+    cycles: int = 0
+    committed: int = 0
+    dispatch_stall_gate: int = 0
+    dispatch_stall_rob: int = 0
+    dispatch_stall_iq: int = 0
+    dispatch_stall_lsq: int = 0
+    commit_stall_gate: int = 0
+    writeback_stall_gate: int = 0
+    fetch_redirects: int = 0
+    serializing_committed: int = 0
+    stores_committed: int = 0
+    loads_committed: int = 0
+
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class _Fetched:
+    """Fetch-buffer slot: a fetched instruction plus its oracle record."""
+
+    seq: int
+    info: StepInfo
+    fetch_done: int
+
+
+class Pipeline:
+    """One out-of-order core executing one :class:`Program`."""
+
+    def __init__(self,
+                 program: Program,
+                 config: CoreConfig,
+                 memport: MemPort,
+                 gate: Optional[CommitGate] = None,
+                 name: str = "core0") -> None:
+        self.program = program
+        self.config = config
+        self.mem = memport
+        self.gate = gate or NullGate()
+        self.name = name
+
+        # oracle (fetch-time) and architectural (commit-time) state
+        self.oracle = ArchState()
+        self.oracle.load_data(program)
+        self.oracle.pc = program.entry_pc
+        self.committed_state = ArchState()
+        self.committed_state.load_data(program)
+        self.committed_state.pc = program.entry_pc
+
+        self.rob = ROB(config.rob_entries)
+        self.iq = IssueQueue(config.iq_entries)
+        self.lsq = LSQ(config.lsq_entries)
+        self.predictor = BimodalPredictor(config.predictor_entries)
+
+        self._fetch_buffer: Deque[_Fetched] = deque()
+        self._fetch_buffer_cap = 2 * config.fetch_width
+        self._fetch_ready_at = 0
+        #: seq of the mispredicted branch fetch is blocked on (or None)
+        self._fetch_blocked_on: Optional[int] = None
+        self._next_seq = 0
+        self._halt_fetched = False
+        self._halt_seq: Optional[int] = None
+        #: seq -> in-flight ROB entry, for wake-up and redirect checks
+        self._inflight: Dict[int, ROBEntry] = {}
+        #: architectural register -> seq of last in-flight producer
+        self._reg_producer: Dict[int, int] = {}
+        #: divider busy-until cycle (unpipelined unit)
+        self._div_free_at = 0
+        #: external stall (recovery freeze): no stage runs before this cycle
+        self.frozen_until = 0
+        #: optional PipelineTracer (see repro.core.trace); None = no cost
+        self.tracer = None
+
+        self.stats = PipelineStats()
+        self.done = False
+
+    # ------------------------------------------------------------------
+    # public stepping
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        """Advance one clock cycle (cycle number ``now``)."""
+        if self.done:
+            return
+        self.stats.cycles += 1
+        self.rob.sample_occupancy()
+        self.iq.sample_occupancy()
+        self.lsq.sample_occupancy()
+        if now < self.frozen_until:
+            return
+        self._commit(now)
+        self._writeback(now)
+        self._issue(now)
+        self._dispatch(now)
+        self._fetch(now)
+
+    # ------------------------------------------------------------------
+    # stages (reverse order)
+    # ------------------------------------------------------------------
+    def _commit(self, now: int) -> None:
+        width = self.config.commit_width
+        for _ in range(width):
+            head = self.rob.head()
+            if head is None:
+                return
+            if head.state is not EntryState.COMPLETED or head.complete_cycle >= now:
+                return
+            if not self.gate.can_commit(head, now):
+                self.stats.commit_stall_gate += 1
+                return
+            self.rob.pop()
+            if self.tracer is not None:
+                self.tracer.commit(head.seq, now)
+            del self._inflight[head.seq]
+            if self._reg_producer.get(head.ins.rd) == head.seq:
+                # producer leaves flight; later readers find the ARF value
+                del self._reg_producer[head.ins.rd]
+            # architectural replay (exact semantics, second image)
+            ins = head.ins
+            if ins.op is Opcode.HALT:
+                self.done = True
+                self.gate.on_commit(head, now)
+                return
+            info = step_state(self.committed_state, ins)
+            if head.is_store:
+                # write-through L1 write at retirement; latency is absorbed
+                # by the store path (write buffer / CB), not commit.
+                self.mem.store_latency(info.mem_addr, now)
+                self.stats.stores_committed += 1
+            if head.is_load:
+                self.stats.loads_committed += 1
+            if ins.is_serializing:
+                self.stats.serializing_committed += 1
+            if head.is_load or head.is_store:
+                self.lsq.remove(head)
+            self.stats.committed += 1
+            self.gate.on_commit(head, now)
+
+    def _writeback(self, now: int) -> None:
+        # transition finished executions to COMPLETED, subject to the
+        # gate's post-execute buffer (CSB) admission.
+        for entry in self.rob:
+            if entry.state is EntryState.ISSUED and entry.complete_cycle <= now:
+                if self.gate.on_complete(entry, now):
+                    entry.state = EntryState.COMPLETED
+                    if self.tracer is not None:
+                        self.tracer.complete(entry.seq, entry.complete_cycle)
+                else:
+                    self.stats.writeback_stall_gate += 1
+
+    def _ready(self, entry: ROBEntry, now: int) -> bool:
+        for dep_seq in entry.deps:
+            producer = self._inflight.get(dep_seq)
+            if producer is None:
+                continue  # already committed
+            if producer.complete_cycle < 0 or producer.complete_cycle > now:
+                return False
+            if producer.state is EntryState.DISPATCHED:
+                return False
+        return True
+
+    def _issue(self, now: int) -> None:
+        cfg = self.config
+        alu_left = cfg.n_alu
+        mul_left = cfg.n_mul
+        mem_left = cfg.n_mem_ports
+        width_left = cfg.issue_width
+        issued: List[ROBEntry] = []
+        for entry in self.iq:
+            if width_left == 0:
+                break
+            if not self._ready(entry, now):
+                continue
+            ins = entry.ins
+            cls = ins.iclass
+            latency: Optional[int] = None
+            if cls is InstrClass.ALU or cls in (InstrClass.NOP, InstrClass.HALT,
+                                                InstrClass.BRANCH, InstrClass.JUMP):
+                if alu_left == 0:
+                    continue
+                alu_left -= 1
+                latency = cfg.alu_latency
+            elif cls is InstrClass.MUL:
+                if mul_left == 0:
+                    continue
+                mul_left -= 1
+                latency = cfg.mul_latency
+            elif cls is InstrClass.DIV:
+                if self._div_free_at > now:
+                    continue
+                latency = cfg.div_latency
+                self._div_free_at = now + latency
+            elif cls is InstrClass.LOAD:
+                if mem_left == 0:
+                    continue
+                mem_left -= 1
+                fwd = self.lsq.forwarding_store(entry)
+                if fwd is not None:
+                    latency = 1
+                else:
+                    latency = self.mem.load_latency(entry.mem_addr, now)
+            elif cls is InstrClass.STORE:
+                # address generation only; the write happens at commit
+                if mem_left == 0:
+                    continue
+                mem_left -= 1
+                latency = 1
+            elif cls is InstrClass.SERIALIZING:
+                # Traps/barriers execute as cheap ops here; their *cost* is
+                # scheme-defined (Reunion blocks dispatch until the group
+                # containing them verifies; UnSync charges nothing), which
+                # is exactly the Figure 4 comparison.
+                if ins.op is Opcode.SWAP:
+                    if mem_left == 0:
+                        continue
+                    mem_left -= 1
+                    latency = self.mem.load_latency(entry.mem_addr, now)
+                else:
+                    latency = cfg.alu_latency
+            else:  # pragma: no cover - exhaustive
+                raise AssertionError(f"unhandled class {cls}")
+
+            entry.state = EntryState.ISSUED
+            entry.complete_cycle = now + latency
+            if self.tracer is not None:
+                self.tracer.issue(entry.seq, now)
+            issued.append(entry)
+            width_left -= 1
+        for entry in issued:
+            self.iq.remove(entry)
+
+    def _dispatch(self, now: int) -> None:
+        for _ in range(self.config.dispatch_width):
+            if not self._fetch_buffer:
+                return
+            slot = self._fetch_buffer[0]
+            if slot.fetch_done > now:
+                return
+            if not self.gate.dispatch_allowed(now):
+                self.stats.dispatch_stall_gate += 1
+                return
+            ins = slot.info.ins
+            if self.rob.full:
+                self.stats.dispatch_stall_rob += 1
+                return
+            if self.iq.full:
+                self.stats.dispatch_stall_iq += 1
+                return
+            is_mem = ins.is_mem
+            if is_mem and self.lsq.full:
+                self.stats.dispatch_stall_lsq += 1
+                return
+            self._fetch_buffer.popleft()
+
+            entry = ROBEntry(seq=slot.seq, ins=ins, pc=slot.info.pc)
+            entry.result = slot.info.result
+            entry.mem_addr = slot.info.mem_addr
+            entry.store_value = slot.info.store_value
+            entry.branch_taken = slot.info.taken
+            entry.branch_target = slot.info.next_pc
+            entry.deps = tuple(
+                self._reg_producer[r] for r in ins.src_regs()
+                if r != 0 and r in self._reg_producer)
+            self.rob.push(entry)
+            if self.tracer is not None:
+                self.tracer.dispatch(entry.seq, now)
+            self._inflight[entry.seq] = entry
+            self.iq.push(entry)
+            if is_mem:
+                self.lsq.push(entry)
+            if ins.writes_reg and ins.rd != 0:
+                self._reg_producer[ins.rd] = entry.seq
+            self.gate.on_dispatch(entry, now)
+
+    def _fetch(self, now: int) -> None:
+        if self._halt_fetched or now < self._fetch_ready_at:
+            return
+        if self._fetch_blocked_on is not None:
+            branch = self._inflight.get(self._fetch_blocked_on)
+            if branch is None:
+                if any(f.seq == self._fetch_blocked_on
+                       for f in self._fetch_buffer):
+                    return  # branch not even dispatched yet
+                # branch already committed; redirect cost already absorbed
+                self._fetch_blocked_on = None
+            elif 0 <= branch.complete_cycle <= now:
+                self._fetch_ready_at = (branch.complete_cycle
+                                        + self.config.branch_mispredict_penalty)
+                self._fetch_blocked_on = None
+                self.stats.fetch_redirects += 1
+                return
+            else:
+                return
+        if len(self._fetch_buffer) + self.config.fetch_width > self._fetch_buffer_cap:
+            return
+
+        pc = self.oracle.pc
+        latency = self.mem.ifetch_latency(pc, now)
+        fetch_done = now + latency
+        # pipelined fetch: the next group may start next cycle on a hit,
+        # or after the miss resolves.
+        hit = self.mem.icache.config.hit_latency
+        self._fetch_ready_at = now + 1 + max(0, latency - hit)
+
+        for _ in range(self.config.fetch_width):
+            ins = self.program.fetch(self.oracle.pc)
+            if ins is None:
+                ins = Instruction(Opcode.HALT)
+            if ins.op is Opcode.HALT:
+                info = StepInfo(ins=ins, pc=self.oracle.pc,
+                                next_pc=self.oracle.pc, is_halt=True)
+                self._fetch_buffer.append(
+                    _Fetched(self._next_seq, info, fetch_done))
+                self._halt_seq = self._next_seq
+                self._next_seq += 1
+                self._halt_fetched = True
+                return
+            seq = self._next_seq
+            self._next_seq += 1
+            info = step_state(self.oracle, ins)
+            if self.tracer is not None:
+                self.tracer.fetch(seq, info.pc, ins, fetch_done)
+            self._fetch_buffer.append(_Fetched(seq, info, fetch_done))
+            if ins.is_branch:
+                if not self._handle_branch_fetch(seq, info, fetch_done):
+                    return  # fetch group ends; possibly blocked
+            # group also ends when the next pc leaves this line
+            if (info.next_pc // self.mem.icache.config.line_bytes
+                    != pc // self.mem.icache.config.line_bytes):
+                return
+
+    def _handle_branch_fetch(self, seq: int, info: StepInfo,
+                             fetch_done: int) -> bool:
+        """Predict a just-fetched branch; returns True when fetch may
+        continue within the same group (correctly-predicted not-taken)."""
+        ins = info.ins
+        actual_taken = info.taken
+        actual_target = info.next_pc
+        if ins.iclass is InstrClass.BRANCH:
+            predicted_taken = self.predictor.predict(info.pc)
+            btb_target = self.predictor.predict_target(info.pc)
+            self.predictor.update(info.pc, actual_taken, actual_target)
+            if predicted_taken != actual_taken or (
+                    actual_taken and btb_target != actual_target):
+                self.predictor.record_mispredict()
+                self._fetch_blocked_on = seq
+                return False
+            # correct prediction: taken branch still ends the fetch group
+            return not actual_taken
+        if ins.op in (Opcode.J, Opcode.JAL):
+            if ins.op is Opcode.JAL:
+                self.predictor.push_return(info.pc + 4)
+            # direct target, known at decode: one-cycle bubble only
+            self._fetch_ready_at = max(self._fetch_ready_at, fetch_done)
+            return False
+        # JR: indirect target; the return-address stack (or, failing
+        # that, a BTB hit with the right target) avoids the resolution
+        # stall.
+        predicted = self.predictor.pop_return()
+        if predicted is None:
+            predicted = self.predictor.predict_target(info.pc)
+        self.predictor.update(info.pc, True, actual_target)
+        if predicted != actual_target:
+            self.predictor.record_mispredict()
+            self._fetch_blocked_on = seq
+        return False
+
+    # ------------------------------------------------------------------
+    # recovery support
+    # ------------------------------------------------------------------
+    def flush_pipeline(self) -> int:
+        """Squash all in-flight work (recovery step 2); returns count."""
+        n = self.rob.flush()
+        self.iq.flush()
+        self.lsq.flush()
+        self._fetch_buffer.clear()
+        self._inflight.clear()
+        self._reg_producer.clear()
+        self._fetch_blocked_on = None
+        self._halt_fetched = False
+        self._halt_seq = None
+        # restart the oracle from the committed point; sequence numbers
+        # restart there too (commit is in-order, so the next instruction's
+        # seq equals the committed count), keeping replays seq-identical.
+        self.oracle = _copy_state(self.committed_state)
+        self._next_seq = self.stats.committed
+        return n
+
+    def adopt_state(self, other: "Pipeline") -> None:
+        """Copy the architectural state of ``other``'s committed point onto
+        this core (recovery step 3); the caller charges the cycle cost."""
+        self.committed_state = _copy_state(other.committed_state)
+        self.oracle = _copy_state(other.committed_state)
+        self.stats.committed = other.stats.committed
+        # commit is in-order, so the next instruction at the adopted point
+        # carries seq == committed count — keeping the two cores' store
+        # streams seq-aligned for CB matching.
+        self._next_seq = other.stats.committed
+        self.done = other.done
+
+    def restore_to(self, state: ArchState, committed: int) -> None:
+        """Rewind the *committed* point itself to an earlier snapshot
+        (checkpoint rollback — unlike :meth:`adopt_state`, this may move
+        backwards past work this core already retired)."""
+        self.flush_pipeline()
+        self.committed_state = _copy_state(state)
+        self.oracle = _copy_state(state)
+        self.stats.committed = committed
+        self._next_seq = committed
+        self.done = False
+
+    @property
+    def arch_state(self) -> ArchState:
+        """The committed architectural state (recovery source/target)."""
+        return self.committed_state
+
+
+def _copy_state(state: ArchState) -> ArchState:
+    new = ArchState()
+    new.regs = list(state.regs)
+    new.mem = dict(state.mem)
+    new.pc = state.pc
+    return new

@@ -1,0 +1,41 @@
+"""Fault-event records and outcome taxonomy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Outcome(enum.Enum):
+    """What ultimately became of a strike."""
+
+    #: bit flipped in dead state; program output unaffected, nothing fired
+    MASKED = "masked"
+    #: a detector fired and the system recovered
+    DETECTED_RECOVERED = "detected-recovered"
+    #: a detector fired but recovery was impossible (e.g. dirty write-back
+    #: line scenario of Figure 2)
+    DETECTED_UNRECOVERABLE = "detected-unrecoverable"
+    #: no detector fired and the architectural output changed
+    SDC = "silent-data-corruption"
+
+
+@dataclass
+class FaultEvent:
+    """One injected strike and its adjudicated outcome."""
+
+    cycle: int
+    core_id: int
+    block: str
+    bit: int
+    outcome: Optional[Outcome] = None
+    #: cycles from strike to detection (when detected)
+    detection_latency: int = 0
+    #: cycles of recovery penalty charged (when recovered)
+    recovery_cycles: int = 0
+
+    @property
+    def detected(self) -> bool:
+        return self.outcome in (Outcome.DETECTED_RECOVERED,
+                                Outcome.DETECTED_UNRECOVERABLE)

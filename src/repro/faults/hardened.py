@@ -1,0 +1,118 @@
+"""Future-work detector variants (paper Sec VIII).
+
+"Since our architecture framework is independent of the underlying
+architecture within the core, more efficient hardware detection
+techniques (multi-bit correction for cache blocks, hardened pipeline
+registers, efficient register file protection, etc.) can be implemented.
+Our architecture and its working are unaffected by such modifications."
+
+This module implements the three named upgrades as drop-in
+:class:`~repro.faults.detection.Detector` replacements, plus the builder
+that swaps them into UnSync's detector map. The hwcost model prices them
+(see ``repro.hwcost.components``), and the ablation bench plots the
+coverage-vs-area trade-off they buy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.faults.detection import (
+    DetectionResult, Detector, DMRDetector, ParityDetector,
+)
+from repro.faults.injector import UNSYNC_DETECTORS
+
+
+class DECTEDDetector(Detector):
+    """Double-error-correct / triple-error-detect ECC for cache blocks.
+
+    The "multi-bit correction for cache blocks" upgrade: corrects up to 2
+    flipped bits in place, detects 3; 4+ may alias (modelled as
+    undetected, conservatively). Costs roughly double the SECDED codec.
+    """
+
+    name = "dected"
+    detection_latency = 3          # wider codec, deeper XOR tree
+    area_overhead = 0.45           # ~2x SECDED's 22%
+    power_overhead = 0.20
+
+    def check(self, flipped_bits: int) -> DetectionResult:
+        if flipped_bits <= 0:
+            return DetectionResult(False, False, 0)
+        if flipped_bits <= 2:
+            return DetectionResult(detected=True, corrected=True,
+                                   latency_cycles=self.detection_latency)
+        if flipped_bits == 3:
+            return DetectionResult(detected=True, corrected=False,
+                                   latency_cycles=self.detection_latency)
+        return DetectionResult(False, False, 0)
+
+
+class TMRLatchDetector(Detector):
+    """Hardened (triplicated, majority-voted) pipeline latch.
+
+    Detects *and corrects* any single-copy upset in the same cycle — a
+    recovery-free alternative to DMR on the per-cycle elements, at the
+    classic ~200% power cost of TMR (paper Sec III-B-1 cites it).
+    """
+
+    name = "tmr-latch"
+    detection_latency = 0
+    area_overhead = 2.0            # two extra copies + voter
+    power_overhead = 2.0           # the paper's "200% in power" figure
+
+    def check(self, flipped_bits: int) -> DetectionResult:
+        detected = flipped_bits > 0
+        # a single-event upset corrupts one copy; the voter masks it
+        return DetectionResult(detected=detected, corrected=detected,
+                               latency_cycles=0)
+
+
+class ECCRegfileDetector(Detector):
+    """SECDED on register-file words ("efficient register file
+    protection"): corrects 1-bit upsets without any pair recovery, at a
+    latency the RF read path must absorb."""
+
+    name = "ecc-regfile"
+    detection_latency = 1
+    area_overhead = 0.22
+    power_overhead = 0.12
+
+    def check(self, flipped_bits: int) -> DetectionResult:
+        if flipped_bits <= 0:
+            return DetectionResult(False, False, 0)
+        if flipped_bits == 1:
+            return DetectionResult(detected=True, corrected=True,
+                                   latency_cycles=self.detection_latency)
+        if flipped_bits == 2:
+            return DetectionResult(detected=True, corrected=False,
+                                   latency_cycles=self.detection_latency)
+        return DetectionResult(False, False, 0)
+
+
+def hardened_unsync_detectors() -> Dict[str, Detector]:
+    """UnSync's detector map with all three Sec VIII upgrades applied.
+
+    Corrections happen in place, so strikes on upgraded blocks no longer
+    trigger pair recovery at all — the EIH only hears about what parity/
+    DMR still guards.
+    """
+    detectors = dict(UNSYNC_DETECTORS)
+    detectors["l1i_data"] = DECTEDDetector()
+    detectors["l1d_data"] = DECTEDDetector()
+    detectors["pipeline_regs"] = TMRLatchDetector()
+    detectors["pc"] = TMRLatchDetector()
+    detectors["regfile"] = ECCRegfileDetector()
+    return detectors
+
+
+def multi_bit_coverage(detectors: Dict[str, Detector],
+                       flipped_bits: int) -> Dict[str, bool]:
+    """Which blocks survive a ``flipped_bits``-bit upset (detected or
+    corrected), per block name — the comparison table the Sec VIII
+    discussion implies."""
+    out = {}
+    for name, det in detectors.items():
+        r = det.check(flipped_bits)
+        out[name] = r.detected or r.corrected
+    return out

@@ -1,0 +1,155 @@
+"""Silent-data-corruption experiments: what *actually* happens when a bit
+flips and nobody catches it.
+
+The detector models answer "would this upset be detected"; this module
+answers the complementary question by *really corrupting* architectural
+state and diffing final outcomes against the golden run:
+
+* a flipped bit may be **masked** — overwritten before use, or in a dead
+  value — and the program output is unchanged;
+* or it becomes **SDC** — the output differs;
+* or the program **crashes/diverges** (wild branch, runaway loop) —
+  detectable by timeout, which real systems catch with watchdogs.
+
+The masking rates measured here are the dynamic ground truth that the
+static AVF estimates (:mod:`repro.faults.avf`) approximate — the tests
+cross-check the two, which is how AVF methodology is validated in the
+literature the paper cites.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.golden import ArchState, ExecutionLimitExceeded, run
+from repro.isa.instructions import REG_COUNT
+from repro.isa.program import Program
+
+
+class SDCOutcome(enum.Enum):
+    MASKED = "masked"
+    SDC = "sdc"
+    CRASH = "crash"      # timeout / runaway (watchdog-detectable)
+
+
+@dataclass(frozen=True)
+class SDCResult:
+    """One corruption trial."""
+
+    target: str          # "reg" or "mem"
+    index: int           # register number or byte address
+    bit: int
+    at_instruction: int
+    outcome: SDCOutcome
+
+
+def _output_signature(state: ArchState) -> Tuple:
+    """The program's *output*: its final memory image.
+
+    Deliberately excludes the register file — a corrupted bit that is
+    still sitting in a dead register at HALT never influenced anything
+    the program produced, and counting it as SDC would inflate the rate
+    to ~1 (every strike trivially changes raw register state).
+    """
+    return tuple(sorted(state.mem.items()))
+
+
+def _final_signature(program: Program,
+                     max_instructions: int) -> Tuple:
+    res = run(program, max_instructions=max_instructions)
+    return _output_signature(res.state)
+
+
+def run_with_corruption(program: Program,
+                        at_instruction: int,
+                        target: str,
+                        index: int,
+                        bit: int,
+                        max_instructions: int = 300_000) -> SDCOutcome:
+    """Execute ``program``, flipping one bit mid-run, and classify.
+
+    ``target``: ``"reg"`` flips bit ``bit`` of register ``index``;
+    ``"mem"`` flips bit ``bit`` of the word at byte address ``index``.
+    """
+    golden_sig = _final_signature(program, max_instructions)
+
+    from repro.isa.golden import step_state
+    from repro.isa.instructions import Opcode
+    state = ArchState()
+    state.load_data(program)
+    state.pc = program.entry_pc
+    executed = 0
+    corrupted = False
+    try:
+        while True:
+            if executed == at_instruction and not corrupted:
+                corrupted = True
+                if target == "reg":
+                    if index != 0:
+                        state.regs[index] ^= (1 << bit)
+                elif target == "mem":
+                    word = state.read_mem(index, 4)
+                    state.write_mem(index, word ^ (1 << bit), 4)
+                else:
+                    raise ValueError(f"unknown target {target!r}")
+            ins = program.fetch(state.pc)
+            if ins is None or ins.op is Opcode.HALT:
+                break
+            if executed >= max_instructions:
+                raise ExecutionLimitExceeded("corrupted run ran away")
+            step_state(state, ins)
+            executed += 1
+    except ExecutionLimitExceeded:
+        return SDCOutcome.CRASH
+
+    if _output_signature(state) == golden_sig:
+        return SDCOutcome.MASKED
+    return SDCOutcome.SDC
+
+
+@dataclass
+class SDCCampaign:
+    """Monte-Carlo corruption campaign over one program."""
+
+    program: Program
+    trials: int = 200
+    seed: int = 0
+    max_instructions: int = 300_000
+    results: List[SDCResult] = field(default_factory=list)
+
+    def run_campaign(self, target: str = "reg") -> "SDCCampaign":
+        rng = random.Random(self.seed)
+        gold = run(self.program, max_instructions=self.max_instructions)
+        n_dynamic = gold.instructions
+        mem_addrs = sorted(gold.state.mem) or [self.program.data_base]
+        for _ in range(self.trials):
+            at = rng.randrange(max(1, n_dynamic))
+            if target == "reg":
+                index = rng.randrange(1, REG_COUNT)
+                bit = rng.randrange(32)
+            else:
+                index = rng.choice(mem_addrs)
+                bit = rng.randrange(32)
+            outcome = run_with_corruption(
+                self.program, at, target, index, bit,
+                max_instructions=self.max_instructions)
+            self.results.append(SDCResult(target, index, bit, at, outcome))
+        return self
+
+    def rates(self) -> Dict[str, float]:
+        if not self.results:
+            return {}
+        n = len(self.results)
+        return {o.value: sum(1 for r in self.results if r.outcome is o) / n
+                for o in SDCOutcome}
+
+    @property
+    def sdc_rate(self) -> float:
+        return self.rates().get("sdc", 0.0)
+
+    @property
+    def masking_rate(self) -> float:
+        return self.rates().get("masked", 0.0)

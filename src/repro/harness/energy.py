@@ -1,0 +1,116 @@
+"""Runtime energy estimation: hwcost power x simulated time.
+
+The paper reports *power* (Table II) and *performance* (Figs 4-6)
+separately; a system designer ultimately pays for their product. This
+module closes the loop: take a simulation's cycle count, the scheme's
+synthesized per-core power, and produce energy and energy-delay-product
+figures per workload.
+
+Model: the synthesis corner is 300 MHz (Sec V), so one simulated cycle is
+1/300 MHz of wall time; each live core burns its Table II total power for
+the run's duration, plus the event-based extras that scale with activity
+rather than time (CB/CSB traffic, fingerprint transfers, recoveries).
+Event energies are derived from the component library's per-access
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.hwcost.components import cb_array, crc_generator
+from repro.hwcost.synthesis import synthesize
+from repro.hwcost.tech import TECH_65NM, TechNode
+from repro.redundancy.stats import RunResult
+
+#: cores a scheme keeps busy per protected thread
+CORES_PER_SCHEME = {"baseline": 1, "unsync": 2, "reunion": 2,
+                    "checkpoint": 2, "tmr": 3}
+
+#: which synthesized column prices a scheme's core
+_COSTING_SCHEME = {"baseline": "mips", "unsync": "unsync",
+                   "reunion": "reunion", "checkpoint": "mips",
+                   "tmr": "mips"}
+
+
+@dataclass
+class EnergyReport:
+    """Energy accounting for one run."""
+
+    scheme: str
+    workload: str
+    cycles: int
+    time_s: float
+    #: time-proportional core + L1 energy
+    core_energy_j: float
+    #: activity-proportional extras (CB/CSB traffic, fingerprints, ...)
+    event_energy_j: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.core_energy_j + self.event_energy_j
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J*s) — the efficiency figure of merit."""
+        return self.total_energy_j * self.time_s
+
+    def energy_per_instruction_nj(self, instructions: int) -> float:
+        if instructions <= 0:
+            raise ValueError("need a positive instruction count")
+        return self.total_energy_j / instructions * 1e9
+
+
+def _event_energy(result: RunResult, tech: TechNode) -> Dict[str, float]:
+    """Per-event extras by scheme, from the component library."""
+    cycle_s = 1.0 / tech.frequency_hz
+    out: Dict[str, float] = {}
+    extra = result.extra
+    if result.scheme == "unsync":
+        cb = cb_array(10)
+        per_access = cb.power_w * cycle_s  # one access ~ one cycle of CB power
+        out["cb_traffic"] = per_access * (extra.get("cb_pushes", 0)
+                                          + extra.get("cb_drains", 0))
+        # recovery: the pair burns its normal power while frozen — the
+        # *extra* energy is the copy traffic, charged like CB accesses
+        out["recovery_copies"] = per_access * extra.get("recovery_cycles", 0)
+    elif result.scheme == "reunion":
+        crc = crc_generator(tech)
+        per_fp = crc.power_w * cycle_s * 2  # generate on both cores
+        out["fingerprints"] = per_fp * extra.get("fingerprints_compared", 0)
+    elif result.scheme == "checkpoint":
+        # checkpoint bytes move through the memory system
+        bytes_captured = extra.get("checkpoint_bytes", 0)
+        out["checkpoint_traffic"] = bytes_captured * 10e-12  # ~10 pJ/byte
+    return out
+
+
+def energy_estimate(result: RunResult,
+                    tech: TechNode = TECH_65NM) -> EnergyReport:
+    """Estimate the energy of one finished run."""
+    scheme = result.scheme
+    if scheme not in CORES_PER_SCHEME:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    costs = synthesize(_COSTING_SCHEME[scheme], tech)
+    n_cores = CORES_PER_SCHEME[scheme]
+    time_s = result.cycles / tech.frequency_hz
+    core_energy = costs.total_power_w * n_cores * time_s
+    events = _event_energy(result, tech)
+    return EnergyReport(
+        scheme=scheme,
+        workload=result.name,
+        cycles=result.cycles,
+        time_s=time_s,
+        core_energy_j=core_energy,
+        event_energy_j=sum(events.values()),
+        breakdown={"cores": core_energy, **events},
+    )
+
+
+def compare_energy(results: Dict[str, RunResult],
+                   tech: TechNode = TECH_65NM) -> Dict[str, EnergyReport]:
+    """Energy reports for a dict of scheme -> result (same workload)."""
+    return {scheme: energy_estimate(res, tech)
+            for scheme, res in results.items()}

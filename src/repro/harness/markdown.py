@@ -1,0 +1,95 @@
+"""Markdown rendering of experiment results.
+
+``measured_report()`` regenerates a paper-vs-measured document from live
+runs — the executable counterpart of EXPERIMENTS.md. Sections are
+individually requestable so quick runs stay quick.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable, List, Optional, Sequence
+
+
+def md_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """GitHub-flavoured markdown table."""
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(str(c) for c in row) + " |" for row in rows]
+    return "\n".join([head, sep] + body)
+
+
+def _pct(x: float) -> str:
+    return f"{100 * x:+.1f}%"
+
+
+def section_table2() -> str:
+    from repro.hwcost.synthesis import table2
+    report = table2()
+    rows = [[k] + v for k, v in report.rows().items()]
+    return ("## Table II — hardware overheads\n\n"
+            + md_table(["parameter", "Basic MIPS", "Reunion", "UnSync"],
+                       rows))
+
+
+def section_table3() -> str:
+    from repro.hwcost.die import table3
+    rows = []
+    for proj in table3():
+        p = proj.processor
+        rows.append([p.name, p.n_cores,
+                     f"{proj.reunion_die_mm2:.2f}",
+                     f"{proj.unsync_die_mm2:.2f}",
+                     f"{proj.difference_mm2:.2f}"])
+    return ("## Table III — projected die sizes\n\n"
+            + md_table(["processor", "cores", "Reunion die (mm²)",
+                        "UnSync die (mm²)", "difference"], rows))
+
+
+def section_fig4(benchmarks: Optional[Sequence[str]] = None) -> str:
+    from repro.harness.experiments import FIG4_DEFAULT, fig4_serializing
+    rows = fig4_serializing(benchmarks=benchmarks or FIG4_DEFAULT)
+    body = md_table(
+        ["benchmark", "serializing %", "Reunion overhead",
+         "UnSync overhead"],
+        [(r.benchmark, f"{100 * r.serializing_pct:.2f}",
+          _pct(r.reunion_overhead), _pct(r.unsync_overhead))
+         for r in rows])
+    avg_r = statistics.mean(r.reunion_overhead for r in rows)
+    avg_u = statistics.mean(r.unsync_overhead for r in rows)
+    return (f"## Figure 4 — serializing-instruction overhead\n\n{body}\n\n"
+            f"Average: Reunion {_pct(avg_r)}, UnSync {_pct(avg_u)} "
+            f"(paper: ~+8%, ~+2%).")
+
+
+def section_roec() -> str:
+    from repro.harness.experiments import roec_coverage
+    rows = roec_coverage()
+    return ("## Sec VI-D — region of error coverage\n\n"
+            + md_table(["architecture", "accounting", "coverage"],
+                       [(r.architecture, r.accounting,
+                         f"{100 * r.coverage:.1f}%") for r in rows]))
+
+
+SECTIONS = {
+    "table2": section_table2,
+    "table3": section_table3,
+    "fig4": section_fig4,
+    "roec": section_roec,
+}
+
+
+def measured_report(sections: Optional[Sequence[str]] = None) -> str:
+    """Assemble the measured-results markdown document."""
+    chosen = list(sections) if sections else list(SECTIONS)
+    unknown = [s for s in chosen if s not in SECTIONS]
+    if unknown:
+        raise ValueError(f"unknown section(s): {', '.join(unknown)} "
+                         f"(known: {', '.join(SECTIONS)})")
+    parts = ["# Measured results (regenerated)\n",
+             "Produced by `python -m repro report`; compare against "
+             "EXPERIMENTS.md.\n"]
+    for name in chosen:
+        parts.append(SECTIONS[name]())
+        parts.append("")
+    return "\n".join(parts)

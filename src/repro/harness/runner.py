@@ -1,0 +1,93 @@
+"""Scheme runners with baseline caching.
+
+Every figure normalises against the unprotected baseline, so baseline
+runs are cached per (benchmark, config) — a Figure 5 sweep re-uses one
+baseline run across its whole grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import SystemConfig
+from repro.isa.program import Program
+from repro.redundancy.pair import BaselineSystem
+from repro.redundancy.stats import RunResult
+from repro.reunion.check_stage import ReunionParams
+from repro.reunion.system import ReunionSystem
+from repro.unsync.system import UnSyncConfig, UnSyncSystem
+
+_baseline_cache: Dict[Tuple[str, int], RunResult] = {}
+
+#: generous global budget; kernels are ~6k instructions
+MAX_CYCLES = 4_000_000
+
+
+def run_scheme(scheme: str, program: Program,
+               config: Optional[SystemConfig] = None,
+               reunion_params: Optional[ReunionParams] = None,
+               unsync_config: Optional[UnSyncConfig] = None,
+               **kwargs) -> RunResult:
+    """Run one scheme on one program.
+
+    ``scheme`` is ``"baseline"``, ``"unsync"`` or ``"reunion"``. Extra
+    kwargs are forwarded to the system constructor (injector, detectors,
+    csb_entries, ...).
+    """
+    if scheme == "baseline":
+        return BaselineSystem(program, config=config, **kwargs).run(MAX_CYCLES)
+    if scheme == "unsync":
+        return UnSyncSystem(program, config=config, unsync=unsync_config,
+                            **kwargs).run(MAX_CYCLES)
+    if scheme == "reunion":
+        return ReunionSystem(program, config=config, params=reunion_params,
+                             **kwargs).run(MAX_CYCLES)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def baseline_run(program: Program,
+                 config: Optional[SystemConfig] = None) -> RunResult:
+    """Cached unprotected-baseline run of ``program``."""
+    key = (program.name, id(config) if config is not None else 0)
+    if key not in _baseline_cache:
+        _baseline_cache[key] = run_scheme("baseline", program, config=config)
+    return _baseline_cache[key]
+
+
+@dataclass
+class SchemeComparison:
+    """Baseline/Reunion/UnSync on the same workload."""
+
+    name: str
+    baseline: RunResult
+    reunion: RunResult
+    unsync: RunResult
+
+    @property
+    def reunion_overhead(self) -> float:
+        return self.reunion.overhead_vs(self.baseline)
+
+    @property
+    def unsync_overhead(self) -> float:
+        return self.unsync.overhead_vs(self.baseline)
+
+    @property
+    def unsync_speedup_over_reunion(self) -> float:
+        """The paper's headline metric ('up to 20% improved performance')."""
+        return self.reunion.cycles / self.unsync.cycles - 1.0
+
+
+def compare_schemes(program: Program,
+                    config: Optional[SystemConfig] = None,
+                    reunion_params: Optional[ReunionParams] = None,
+                    unsync_config: Optional[UnSyncConfig] = None) -> SchemeComparison:
+    """All three schemes on one workload."""
+    return SchemeComparison(
+        name=program.name,
+        baseline=baseline_run(program, config),
+        reunion=run_scheme("reunion", program, config=config,
+                           reunion_params=reunion_params),
+        unsync=run_scheme("unsync", program, config=config,
+                          unsync_config=unsync_config),
+    )

@@ -1,0 +1,100 @@
+"""One-factor-at-a-time sensitivity analysis over machine parameters.
+
+A design study built on the reproduction: vary one structural parameter
+(ROB entries, bus width, L1 size, EIH latency, ...) while holding the
+Table I baseline fixed, and report how each scheme's performance moves.
+This is the tool that would have produced "Figure 7" had the paper had
+one — and it is how DESIGN.md's modelling choices were checked for
+robustness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import CoreConfig, SystemConfig
+from repro.isa.program import Program
+from repro.mem.cache import CacheConfig
+
+
+@dataclass
+class SensitivityPoint:
+    """One (parameter value, scheme) measurement."""
+
+    parameter: str
+    value: object
+    scheme: str
+    cycles: int
+    ipc: float
+
+
+#: parameter name -> function(SystemConfig, value) -> SystemConfig
+KNOBS: Dict[str, Callable[[SystemConfig, object], SystemConfig]] = {
+    "rob_entries": lambda cfg, v: dataclasses.replace(
+        cfg, core=cfg.core.scaled(rob_entries=int(v))),
+    "iq_entries": lambda cfg, v: dataclasses.replace(
+        cfg, core=cfg.core.scaled(iq_entries=int(v))),
+    "lsq_entries": lambda cfg, v: dataclasses.replace(
+        cfg, core=cfg.core.scaled(lsq_entries=int(v))),
+    "issue_width": lambda cfg, v: dataclasses.replace(
+        cfg, core=cfg.core.scaled(issue_width=int(v),
+                                  fetch_width=int(v),
+                                  dispatch_width=int(v),
+                                  commit_width=int(v))),
+    "bus_width_bytes": lambda cfg, v: dataclasses.replace(
+        cfg, bus_width_bytes=int(v)),
+    "l1_size_kb": lambda cfg, v: dataclasses.replace(
+        cfg,
+        icache=dataclasses.replace(cfg.icache, size_bytes=int(v) * 1024),
+        dcache=dataclasses.replace(cfg.dcache, size_bytes=int(v) * 1024)),
+    "l2_latency": lambda cfg, v: dataclasses.replace(
+        cfg, l2=dataclasses.replace(cfg.l2, hit_latency=int(v))),
+    "dram_latency": lambda cfg, v: dataclasses.replace(
+        cfg, dram_latency=int(v)),
+}
+
+
+def sweep(program: Program,
+          parameter: str,
+          values: Sequence[object],
+          schemes: Sequence[str] = ("baseline", "unsync", "reunion"),
+          base_config: Optional[SystemConfig] = None) -> List[SensitivityPoint]:
+    """Run every (value, scheme) combination.
+
+    Returns points in (value-major, scheme-minor) order.
+    """
+    from repro.harness.runner import run_scheme
+    if parameter not in KNOBS:
+        raise ValueError(f"unknown parameter {parameter!r}; "
+                         f"knobs: {', '.join(sorted(KNOBS))}")
+    knob = KNOBS[parameter]
+    base = base_config or SystemConfig.table1()
+    points = []
+    for value in values:
+        cfg = knob(base, value)
+        for scheme in schemes:
+            res = run_scheme(scheme, program, config=cfg)
+            points.append(SensitivityPoint(
+                parameter=parameter, value=value, scheme=scheme,
+                cycles=res.cycles, ipc=res.ipc))
+    return points
+
+
+def elasticity(points: List[SensitivityPoint], scheme: str) -> float:
+    """Relative cycle change per relative parameter change between the
+    sweep's endpoints — a single sensitivity number per scheme.
+
+    0 means the scheme does not care about this parameter; negative
+    means more of it helps.
+    """
+    mine = [p for p in points if p.scheme == scheme]
+    if len(mine) < 2:
+        raise ValueError("need at least two points for an elasticity")
+    first, last = mine[0], mine[-1]
+    dv = (float(last.value) - float(first.value)) / float(first.value)
+    dc = (last.cycles - first.cycles) / first.cycles
+    if dv == 0:
+        raise ValueError("parameter endpoints are equal")
+    return dc / dv

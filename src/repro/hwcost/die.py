@@ -1,0 +1,77 @@
+"""Table III: projected die sizes of existing many-core processors.
+
+The paper scales the per-core area overhead (CAO) of each scheme onto
+three real chips: the increase in area is ``CA_inc = n x CA x CAO`` and
+the projected die area ``DA = CA_inc + DA_orig``. The final row —
+``DA_Reunion - DA_UnSync`` — is the design-time figure of merit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hwcost.synthesis import SynthesisReport, table2
+
+
+@dataclass(frozen=True)
+class ManyCore:
+    """One row-target of Table III."""
+
+    name: str
+    node_nm: int
+    n_cores: int
+    per_core_area_mm2: float
+    die_area_mm2: float
+
+
+#: The three processors of Table III (die data from [37]-[40]).
+TABLE3_PROCESSORS = (
+    ManyCore("Intel Polaris", 65, 80, 2.5, 275.0),
+    ManyCore("Tilera Tile64", 90, 64, 3.6, 330.0),
+    ManyCore("NVIDIA GeForce", 90, 128, 3.0, 470.0),
+)
+
+
+@dataclass
+class DieProjection:
+    """Projected die areas of one processor under both schemes."""
+
+    processor: ManyCore
+    reunion_die_mm2: float
+    unsync_die_mm2: float
+
+    @property
+    def difference_mm2(self) -> float:
+        """The paper's decision metric: DA_Reunion - DA_UnSync."""
+        return self.reunion_die_mm2 - self.unsync_die_mm2
+
+
+def project_die(processor: ManyCore,
+                reunion_cao: Optional[float] = None,
+                unsync_cao: Optional[float] = None,
+                report: Optional[SynthesisReport] = None) -> DieProjection:
+    """Project ``processor``'s die under Reunion and UnSync.
+
+    Core-area-overhead factors default to the Table II synthesis result
+    (0.2077 and 0.0745 in the paper).
+    """
+    if reunion_cao is None or unsync_cao is None:
+        report = report or table2()
+        if reunion_cao is None:
+            reunion_cao = report.reunion.area_overhead_vs(report.mips)
+        if unsync_cao is None:
+            unsync_cao = report.unsync.area_overhead_vs(report.mips)
+    p = processor
+    core_total = p.n_cores * p.per_core_area_mm2
+    return DieProjection(
+        processor=p,
+        reunion_die_mm2=core_total * reunion_cao + p.die_area_mm2,
+        unsync_die_mm2=core_total * unsync_cao + p.die_area_mm2,
+    )
+
+
+def table3(report: Optional[SynthesisReport] = None) -> List[DieProjection]:
+    """All three Table III projections."""
+    report = report or table2()
+    return [project_die(p, report=report) for p in TABLE3_PROCESSORS]

@@ -1,0 +1,82 @@
+"""System-level cost of redundancy schemes, per protected thread.
+
+Table II compares *single cores*; a designer choosing a scheme pays for
+the whole replica group. This extension rolls Table II up to the
+per-protected-thread level and adds the TMR comparator the paper cites
+(detection + correction by majority vote at ~200% overhead):
+
+* UnSync pair   = 2 x (UnSync core + parity L1) + 2 CBs
+* Reunion pair  = 2 x (Reunion core + SECDED L1)
+* TMR triple    = 3 x (plain MIPS core + L1) + 3 CBs + voter
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hwcost.components import (
+    MIPS_CORE_AREA_UM2, MIPS_CORE_POWER_W, cb_array,
+)
+from repro.hwcost.synthesis import CoreCosts, synthesize
+from repro.hwcost.tech import TECH_65NM, TechNode
+
+#: majority voter: ~3 gates per voted bit over a 66-bit store entry,
+#: plus control — small change compared to a core.
+VOTER_GATES = 3 * 66 + 40
+
+
+@dataclass
+class SchemeSystemCost:
+    """Total silicon for one protected thread under one scheme."""
+
+    scheme: str
+    n_cores: int
+    total_area_um2: float
+    total_power_w: float
+    #: does the scheme correct (not just detect) without pair recovery?
+    self_correcting: bool
+
+    def area_vs(self, other: "SchemeSystemCost") -> float:
+        return self.total_area_um2 / other.total_area_um2 - 1.0
+
+    def power_vs(self, other: "SchemeSystemCost") -> float:
+        return self.total_power_w / other.total_power_w - 1.0
+
+
+def unprotected_cost(tech: TechNode = TECH_65NM) -> SchemeSystemCost:
+    c = synthesize("mips", tech)
+    return SchemeSystemCost("unprotected", 1, c.total_area_um2,
+                            c.total_power_w, self_correcting=False)
+
+
+def unsync_pair_cost(tech: TechNode = TECH_65NM,
+                     cb_entries: int = 10) -> SchemeSystemCost:
+    c = synthesize("unsync", tech, cb_entries=cb_entries)
+    return SchemeSystemCost("unsync", 2, 2 * c.total_area_um2,
+                            2 * c.total_power_w, self_correcting=False)
+
+
+def reunion_pair_cost(tech: TechNode = TECH_65NM,
+                      fingerprint_interval: int = 10) -> SchemeSystemCost:
+    c = synthesize("reunion", tech,
+                   fingerprint_interval=fingerprint_interval)
+    return SchemeSystemCost("reunion", 2, 2 * c.total_area_um2,
+                            2 * c.total_power_w, self_correcting=False)
+
+
+def tmr_triple_cost(tech: TechNode = TECH_65NM,
+                    cb_entries: int = 10) -> SchemeSystemCost:
+    base = synthesize("mips", tech)
+    cb = cb_array(cb_entries)
+    voter_area = VOTER_GATES * tech.gate_area_um2
+    voter_power = MIPS_CORE_POWER_W * (voter_area / MIPS_CORE_AREA_UM2)
+    area = 3 * (base.total_area_um2 + cb.area_um2) + voter_area
+    power = 3 * (base.total_power_w + cb.power_w) + voter_power
+    return SchemeSystemCost("tmr", 3, area, power, self_correcting=True)
+
+
+def redundancy_comparison(tech: TechNode = TECH_65NM) -> List[SchemeSystemCost]:
+    """All four options, per protected thread."""
+    return [unprotected_cost(tech), unsync_pair_cost(tech),
+            reunion_pair_cost(tech), tmr_triple_cost(tech)]

@@ -1,0 +1,320 @@
+"""Two-pass assembler for the mini-ISA.
+
+Syntax
+------
+One instruction per line; ``#`` or ``;`` starts a comment. Labels end with
+``:`` and may share a line with an instruction. Registers are ``r0``..``r31``
+(aliases: ``zero`` = r0, ``sp`` = r29, ``ra`` = r31). Immediates may be
+decimal, hex (``0x..``), negative, or a label (branches/jumps, and ``la``).
+
+Directives::
+
+    .data                     ; switch to data segment
+    .text                     ; switch back to code
+    .word 1, 2, 3             ; emit 32-bit words
+    .byte 1, 2                ; emit bytes
+    .space 64                 ; reserve N zero bytes
+    .align 4                  ; align data cursor
+    label:  .word 42          ; data labels become absolute addresses
+
+Pseudo-instructions::
+
+    li  rd, imm32             ; expands to lui+ori when needed
+    la  rd, label             ; load absolute data address
+    mv  rd, rs                ; addi rd, rs, 0
+    b   label                 ; j label
+
+Memory operands accept both ``lw rd, imm(rs1)`` and ``lw rd, rs1, imm``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, Opcode, REG_COUNT
+from repro.isa.program import DataSegment, Program
+
+
+class AssemblerError(ValueError):
+    """Raised on any syntax or semantic error, with line context."""
+
+
+_REG_ALIASES = {"zero": 0, "sp": 29, "fp": 30, "ra": 31}
+
+# opcode -> operand signature
+#   R3  = rd, rs1, rs2
+#   RI  = rd, rs1, imm
+#   RDI = rd, imm            (lui)
+#   MEM = rd, imm(rs1)
+#   BR  = rs1, rs2, target
+#   J   = target
+#   JRF = rs1
+#   N   = none
+_SIGNATURES = {
+    **{op: "R3" for op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
+                           Opcode.XOR, Opcode.NOR, Opcode.SLT, Opcode.SLTU,
+                           Opcode.SLL, Opcode.SRL, Opcode.SRA,
+                           Opcode.MUL, Opcode.DIV, Opcode.REM)},
+    **{op: "RI" for op in (Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+                           Opcode.SLTI, Opcode.SLLI, Opcode.SRLI, Opcode.SRAI)},
+    Opcode.LUI: "RDI",
+    **{op: "MEM" for op in (Opcode.LW, Opcode.LH, Opcode.LB,
+                            Opcode.SW, Opcode.SH, Opcode.SB, Opcode.SWAP)},
+    **{op: "BR" for op in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE)},
+    Opcode.J: "J",
+    Opcode.JAL: "J",
+    Opcode.JR: "JRF",
+    Opcode.TRAP: "N",
+    Opcode.MEMBAR: "N",
+    Opcode.NOP: "N",
+    Opcode.HALT: "N",
+}
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _parse_reg(token: str, lineno: int) -> int:
+    token = token.strip().lower()
+    if token in _REG_ALIASES:
+        return _REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        n = int(token[1:])
+        if 0 <= n < REG_COUNT:
+            return n
+    raise AssemblerError(f"line {lineno}: bad register {token!r}")
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"line {lineno}: bad integer {token!r}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [t.strip() for t in rest.split(",") if t.strip()] if rest else []
+
+
+class _Pending:
+    """An instruction line held until pass 2 resolves label immediates."""
+
+    __slots__ = ("mnemonic", "operands", "lineno", "source", "index")
+
+    def __init__(self, mnemonic: str, operands: List[str], lineno: int,
+                 source: str, index: int) -> None:
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.lineno = lineno
+        self.source = source
+        self.index = index
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Assemble ``text`` into a :class:`Program`.
+
+    Raises :class:`AssemblerError` with a line number on any problem.
+    """
+    code_labels: Dict[str, int] = {}
+    data_labels: Dict[str, int] = {}
+    data = DataSegment()
+    pending: List[_Pending] = []
+
+    in_data = False
+    data_cursor = 0x1000_0000  # data segment base
+    index = 0  # instruction index
+
+    # ---------------- pass 1: collect labels, expand pseudos --------------
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        # labels (may be several, may precede an instruction)
+        while True:
+            m = re.match(r"^(\w+):\s*(.*)$", line)
+            if not m:
+                break
+            label, line = m.group(1), m.group(2).strip()
+            if label in code_labels or label in data_labels:
+                raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+            if in_data:
+                data_labels[label] = data_cursor
+            else:
+                code_labels[label] = index
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+
+        if mnemonic == ".data":
+            in_data = True
+            continue
+        if mnemonic == ".text":
+            in_data = False
+            continue
+        if mnemonic == ".word":
+            for tok in _split_operands(rest):
+                data.write_word(data_cursor, _parse_int(tok, lineno))
+                data_cursor += 4
+            continue
+        if mnemonic == ".byte":
+            for tok in _split_operands(rest):
+                data.write_byte(data_cursor, _parse_int(tok, lineno))
+                data_cursor += 1
+            continue
+        if mnemonic == ".space":
+            n = _parse_int(rest.strip(), lineno)
+            data_cursor += n
+            continue
+        if mnemonic == ".align":
+            n = _parse_int(rest.strip(), lineno)
+            if n <= 0:
+                raise AssemblerError(f"line {lineno}: .align needs positive arg")
+            data_cursor = (data_cursor + n - 1) // n * n
+            continue
+        if mnemonic.startswith("."):
+            raise AssemblerError(f"line {lineno}: unknown directive {mnemonic!r}")
+        if in_data:
+            raise AssemblerError(
+                f"line {lineno}: instruction {mnemonic!r} inside .data")
+
+        operands = _split_operands(rest)
+        # pseudo-instruction expansion happens in pass 2 because `li`/`la`
+        # may need label addresses; but they have a fixed instruction count,
+        # so we only need to know it now.
+        if mnemonic in ("li", "la"):
+            pending.append(_Pending(mnemonic, operands, lineno, line, index))
+            index += 2  # always lui+ori (uniform size keeps labels simple)
+            continue
+        if mnemonic == "mv":
+            pending.append(_Pending(mnemonic, operands, lineno, line, index))
+            index += 1
+            continue
+        if mnemonic == "b":
+            pending.append(_Pending("j", operands, lineno, line, index))
+            index += 1
+            continue
+        try:
+            Opcode(mnemonic)
+        except ValueError:
+            raise AssemblerError(f"line {lineno}: unknown opcode {mnemonic!r}") from None
+        pending.append(_Pending(mnemonic, operands, lineno, line, index))
+        index += 1
+
+    total = index
+
+    # ---------------- pass 2: encode ----------------
+    def resolve_imm(token: str, lineno: int, branch_from: Optional[int] = None) -> int:
+        if token in code_labels:
+            target = code_labels[token]
+            return target  # absolute instruction index; PC = index*4
+        if token in data_labels:
+            return data_labels[token]
+        return _parse_int(token, lineno)
+
+    instructions: List[Optional[Instruction]] = [None] * total
+    for p in pending:
+        mnem, ops, lineno = p.mnemonic, p.operands, p.lineno
+        if mnem in ("li", "la"):
+            if len(ops) != 2:
+                raise AssemblerError(f"line {lineno}: {mnem} needs rd, value")
+            rd = _parse_reg(ops[0], lineno)
+            value = resolve_imm(ops[1], lineno) & 0xFFFFFFFF
+            hi, lo = value >> 16, value & 0xFFFF
+            instructions[p.index] = Instruction(Opcode.LUI, rd=rd, imm=hi,
+                                                source=p.source)
+            instructions[p.index + 1] = Instruction(Opcode.ORI, rd=rd, rs1=rd,
+                                                    imm=lo, source=p.source)
+            continue
+        if mnem == "mv":
+            if len(ops) != 2:
+                raise AssemblerError(f"line {lineno}: mv needs rd, rs")
+            instructions[p.index] = Instruction(
+                Opcode.ADDI, rd=_parse_reg(ops[0], lineno),
+                rs1=_parse_reg(ops[1], lineno), imm=0, source=p.source)
+            continue
+
+        op = Opcode(mnem)
+        sig = _SIGNATURES[op]
+        try:
+            if sig == "R3":
+                rd, rs1, rs2 = (_parse_reg(t, lineno) for t in ops)
+                ins = Instruction(op, rd=rd, rs1=rs1, rs2=rs2, source=p.source)
+            elif sig == "RI":
+                if len(ops) != 3:
+                    raise AssemblerError(f"line {lineno}: {mnem} needs rd, rs1, imm")
+                ins = Instruction(op, rd=_parse_reg(ops[0], lineno),
+                                  rs1=_parse_reg(ops[1], lineno),
+                                  imm=resolve_imm(ops[2], lineno), source=p.source)
+            elif sig == "RDI":
+                if len(ops) != 2:
+                    raise AssemblerError(f"line {lineno}: {mnem} needs rd, imm")
+                ins = Instruction(op, rd=_parse_reg(ops[0], lineno),
+                                  imm=resolve_imm(ops[1], lineno), source=p.source)
+            elif sig == "MEM":
+                if len(ops) == 2:
+                    m = _MEM_OPERAND.match(ops[1].replace(" ", ""))
+                    if not m:
+                        raise AssemblerError(
+                            f"line {lineno}: {mnem} needs rd, imm(rs1)")
+                    imm_tok, base_tok = m.group(1), m.group(2)
+                    ins = Instruction(op, rd=_parse_reg(ops[0], lineno),
+                                      rs1=_parse_reg(base_tok, lineno),
+                                      imm=resolve_imm(imm_tok, lineno),
+                                      source=p.source)
+                elif len(ops) == 3:
+                    ins = Instruction(op, rd=_parse_reg(ops[0], lineno),
+                                      rs1=_parse_reg(ops[1], lineno),
+                                      imm=resolve_imm(ops[2], lineno),
+                                      source=p.source)
+                else:
+                    raise AssemblerError(f"line {lineno}: bad {mnem} operands")
+            elif sig == "BR":
+                if len(ops) != 3:
+                    raise AssemblerError(
+                        f"line {lineno}: {mnem} needs rs1, rs2, target")
+                ins = Instruction(op, rs1=_parse_reg(ops[0], lineno),
+                                  rs2=_parse_reg(ops[1], lineno),
+                                  imm=resolve_imm(ops[2], lineno), source=p.source)
+            elif sig == "J":
+                if len(ops) != 1 and not (op is Opcode.JAL and len(ops) == 2):
+                    raise AssemblerError(f"line {lineno}: {mnem} needs target")
+                if op is Opcode.JAL:
+                    # jal target   (link into ra)  or  jal rd, target
+                    if len(ops) == 2:
+                        ins = Instruction(op, rd=_parse_reg(ops[0], lineno),
+                                          imm=resolve_imm(ops[1], lineno),
+                                          source=p.source)
+                    else:
+                        ins = Instruction(op, rd=31,
+                                          imm=resolve_imm(ops[0], lineno),
+                                          source=p.source)
+                else:
+                    ins = Instruction(op, imm=resolve_imm(ops[0], lineno),
+                                      source=p.source)
+            elif sig == "JRF":
+                if len(ops) != 1:
+                    raise AssemblerError(f"line {lineno}: jr needs rs1")
+                ins = Instruction(op, rs1=_parse_reg(ops[0], lineno),
+                                  source=p.source)
+            elif sig == "N":
+                if ops and op is not Opcode.TRAP:
+                    raise AssemblerError(f"line {lineno}: {mnem} takes no operands")
+                imm = resolve_imm(ops[0], lineno) if ops else 0
+                ins = Instruction(op, imm=imm, source=p.source)
+            else:  # pragma: no cover - exhaustive
+                raise AssemblerError(f"line {lineno}: unhandled signature {sig}")
+        except ValueError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from None
+        instructions[p.index] = ins
+
+    if any(i is None for i in instructions):  # pragma: no cover - invariant
+        raise AssemblerError("internal: unassembled slot")
+
+    labels = dict(code_labels)
+    labels.update(data_labels)
+    prog = Program(instructions=list(instructions), labels=labels,
+                   data=data, name=name, data_end=data_cursor)
+    return prog

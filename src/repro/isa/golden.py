@@ -1,0 +1,209 @@
+"""Golden (architectural) executor.
+
+A plain fetch-execute interpreter over :class:`Program` with no timing
+model. Every cycle-level simulator in this repository is validated against
+it: for any fault-free run the out-of-order core must produce exactly the
+same architectural register file, memory image, and dynamic instruction
+count as the golden executor. The fault classifiers also diff final state
+against a golden run to label outcomes as masked vs silent data corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, InstrClass, Opcode, REG_COUNT
+from repro.isa.program import Program
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """The program ran longer than the configured instruction budget."""
+
+
+@dataclass
+class ArchState:
+    """Architectural state: registers, memory, PC.
+
+    Memory is a sparse byte dict (the simulated address space is 4 GiB and
+    kernels touch a few KiB of it).
+    """
+
+    regs: List[int] = field(default_factory=lambda: [0] * REG_COUNT)
+    mem: Dict[int, int] = field(default_factory=dict)
+    pc: int = 0
+
+    def read_reg(self, r: int) -> int:
+        return 0 if r == 0 else self.regs[r]
+
+    def write_reg(self, r: int, value: int) -> None:
+        if r != 0:
+            self.regs[r] = value & 0xFFFFFFFF
+
+    def read_mem(self, addr: int, width: int) -> int:
+        return sum(self.mem.get((addr + i) & 0xFFFFFFFF, 0) << (8 * i)
+                   for i in range(width))
+
+    def write_mem(self, addr: int, value: int, width: int) -> None:
+        for i in range(width):
+            self.mem[(addr + i) & 0xFFFFFFFF] = (value >> (8 * i)) & 0xFF
+
+    def load_data(self, program: Program) -> None:
+        for addr, byte in program.data.items():
+            self.mem[addr] = byte
+
+    def snapshot(self) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...], int]:
+        """Hashable snapshot, used by tests to compare two executions."""
+        return (tuple(self.regs), tuple(sorted(self.mem.items())), self.pc)
+
+
+@dataclass
+class StepInfo:
+    """Side-channel record of one functional step.
+
+    The cycle-level pipeline consumes these at fetch (oracle path) and at
+    commit (architectural replay); the golden interpreter produces them
+    internally.
+    """
+
+    ins: Instruction
+    pc: int
+    next_pc: int
+    #: destination value written, if any
+    result: Optional[int] = None
+    #: effective address for memory instructions
+    mem_addr: Optional[int] = None
+    #: value stored (stores and swap)
+    store_value: Optional[int] = None
+    store_width: int = 0
+    taken: bool = False
+    is_halt: bool = False
+
+
+def step_state(state: ArchState, ins: Instruction) -> StepInfo:
+    """Advance ``state`` by one instruction; the single source of truth for
+    instruction semantics across every simulator in the package."""
+    pc = state.pc
+    next_pc = pc + 4
+    info = StepInfo(ins=ins, pc=pc, next_pc=next_pc)
+    cls = ins.iclass
+    if cls in (InstrClass.ALU, InstrClass.MUL, InstrClass.DIV):
+        a = state.read_reg(ins.rs1) if ins.rs1 is not None else 0
+        b = (state.read_reg(ins.rs2) if ins.rs2 is not None else ins.imm)
+        info.result = ins.alu_result(a, b)
+        state.write_reg(ins.rd, info.result)
+    elif cls is InstrClass.LOAD:
+        addr = (state.read_reg(ins.rs1) + ins.imm) & 0xFFFFFFFF
+        value = state.read_mem(addr, ins.mem_width)
+        if ins.op is Opcode.LB and value & 0x80:
+            value |= 0xFFFFFF00
+        elif ins.op is Opcode.LH and value & 0x8000:
+            value |= 0xFFFF0000
+        info.mem_addr = addr
+        info.result = value
+        state.write_reg(ins.rd, value)
+    elif cls is InstrClass.STORE:
+        addr = (state.read_reg(ins.rs1) + ins.imm) & 0xFFFFFFFF
+        value = state.read_reg(ins.rd) & ((1 << (8 * ins.mem_width)) - 1)
+        state.write_mem(addr, value, ins.mem_width)
+        info.mem_addr = addr
+        info.store_value = value
+        info.store_width = ins.mem_width
+    elif cls is InstrClass.BRANCH:
+        a, b = state.read_reg(ins.rs1), state.read_reg(ins.rs2)
+        if ins.branch_taken(a, b):
+            info.taken = True
+            info.next_pc = next_pc = ins.imm << 2
+    elif cls is InstrClass.JUMP:
+        info.taken = True
+        if ins.op is Opcode.J:
+            info.next_pc = next_pc = ins.imm << 2
+        elif ins.op is Opcode.JAL:
+            info.result = (pc + 4) & 0xFFFFFFFF
+            state.write_reg(ins.rd, info.result)
+            info.next_pc = next_pc = ins.imm << 2
+        else:  # JR
+            info.next_pc = next_pc = state.read_reg(ins.rs1) & 0xFFFFFFFC
+    elif cls is InstrClass.SERIALIZING:
+        if ins.op is Opcode.SWAP:
+            addr = (state.read_reg(ins.rs1) + ins.imm) & 0xFFFFFFFF
+            old = state.read_mem(addr, 4)
+            new = state.read_reg(ins.rd)
+            state.write_mem(addr, new, 4)
+            state.write_reg(ins.rd, old)
+            info.mem_addr = addr
+            info.store_value = new
+            info.store_width = 4
+            info.result = old
+        # TRAP / MEMBAR are architectural no-ops here.
+    elif cls is InstrClass.NOP:
+        pass
+    elif cls is InstrClass.HALT:
+        info.is_halt = True
+        info.next_pc = pc  # halt does not advance
+        return info
+    else:  # pragma: no cover - exhaustive over InstrClass
+        raise AssertionError(f"unhandled class {cls}")
+    state.pc = next_pc
+    return info
+
+
+@dataclass
+class GoldenResult:
+    """Outcome of a golden run."""
+
+    state: ArchState
+    instructions: int
+    trace: Optional[List[int]] = None  # executed PCs when tracing
+    class_counts: Dict[str, int] = field(default_factory=dict)
+    store_log: List[Tuple[int, int, int]] = field(default_factory=list)
+    halted: bool = True
+
+
+def run(program: Program, max_instructions: int = 1_000_000,
+        trace: bool = False, collect_stores: bool = False) -> GoldenResult:
+    """Interpret ``program`` to HALT (or the instruction budget).
+
+    Parameters
+    ----------
+    program:
+        Assembled program; its data segment seeds memory.
+    max_instructions:
+        Safety budget; exceeding it raises :class:`ExecutionLimitExceeded`
+        (infinite loops in generated workloads are bugs we want loud).
+    trace:
+        Record the PC of every retired instruction.
+    collect_stores:
+        Record every (addr, value, width) store, in retirement order —
+        used to validate the CB drain stream against the golden store
+        stream.
+    """
+    state = ArchState()
+    state.load_data(program)
+    state.pc = program.entry_pc
+
+    executed = 0
+    pcs: Optional[List[int]] = [] if trace else None
+    counts: Dict[str, int] = {}
+    stores: List[Tuple[int, int, int]] = []
+
+    while True:
+        ins = program.fetch(state.pc)
+        if ins is None or ins.op is Opcode.HALT:
+            halted = ins is not None
+            break
+        if executed >= max_instructions:
+            raise ExecutionLimitExceeded(
+                f"{program.name}: exceeded {max_instructions} instructions")
+        executed += 1
+        if pcs is not None:
+            pcs.append(state.pc)
+        key = ins.iclass.value
+        counts[key] = counts.get(key, 0) + 1
+
+        info = step_state(state, ins)
+        if collect_stores and info.store_value is not None:
+            stores.append((info.mem_addr, info.store_value, info.store_width))
+
+    return GoldenResult(state=state, instructions=executed, trace=pcs,
+                        class_counts=counts, store_log=stores, halted=halted)

@@ -1,0 +1,32 @@
+"""DRAM timing model.
+
+Table I: 3 GB, 64-bit wide, 400-cycle access latency. A flat-latency model
+is sufficient — the paper's evaluation never exercises DRAM bandwidth
+limits, only the L1/L2/bus path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DRAM:
+    """Flat-latency main memory."""
+
+    access_latency: int = 400
+    width_bytes: int = 8
+    size_bytes: int = 3 * 1024 ** 3
+
+    accesses: int = 0
+
+    def access(self, addr: int) -> int:
+        """Latency of one line fill from DRAM."""
+        if not 0 <= addr < self.size_bytes:
+            # Kernels place data at 0x1000_0000 (256 MiB), well inside 3 GB;
+            # an out-of-range address signals a corrupted pointer, which we
+            # still service (wrap) because a fault may legitimately produce
+            # one and the simulation must continue to observe the outcome.
+            addr %= self.size_bytes
+        self.accesses += 1
+        return self.access_latency

@@ -1,0 +1,168 @@
+"""Per-core memory port and full hierarchy wiring.
+
+A :class:`MemPort` gives one core its split I/D L1s, I/D TLBs and L1 MSHR
+files, all funnelling into the shared bus + :class:`SharedL2`. The
+hierarchy computes end-to-end latencies; what happens to *store data*
+downstream of the L1 (Communication Buffer, write buffer, direct L2 write)
+is the redundancy layer's business and is deliberately not decided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mem.bus import Bus
+from repro.mem.cache import Cache, CacheConfig, WritePolicy
+from repro.mem.dram import DRAM
+from repro.mem.l2 import SharedL2
+from repro.mem.mshr import MSHRFile
+from repro.mem.tlb import TLB, TLBConfig
+
+
+@dataclass
+class MemPortStats:
+    ifetches: int = 0
+    loads: int = 0
+    stores: int = 0
+    l1i_miss: int = 0
+    l1d_miss: int = 0
+    mshr_stall_cycles: int = 0
+
+
+class MemPort:
+    """One core's view of the memory system."""
+
+    def __init__(self,
+                 bus: Bus,
+                 l2: SharedL2,
+                 icache_cfg: Optional[CacheConfig] = None,
+                 dcache_cfg: Optional[CacheConfig] = None,
+                 itlb_cfg: Optional[TLBConfig] = None,
+                 dtlb_cfg: Optional[TLBConfig] = None,
+                 l1_mshrs: int = 10,
+                 name: str = "core0",
+                 addr_offset: int = 0) -> None:
+        self.bus = bus
+        self.l2 = l2
+        #: offset applied to L2-side addresses only. In a multi-pair CMP
+        #: each pair runs its own program in the same virtual layout; the
+        #: offset keeps their footprints distinct in the shared physical
+        #: L2, as distinct page mappings would.
+        self.addr_offset = addr_offset
+        self.icache = Cache(icache_cfg or CacheConfig(), name=f"{name}.L1I")
+        self.dcache = Cache(dcache_cfg or CacheConfig(), name=f"{name}.L1D")
+        self.itlb = TLB(itlb_cfg or TLBConfig(entries=48), name=f"{name}.ITLB")
+        self.dtlb = TLB(dtlb_cfg or TLBConfig(entries=64), name=f"{name}.DTLB")
+        self.mshrs = MSHRFile(l1_mshrs)
+        self.name = name
+        self.stats = MemPortStats()
+
+    # -- internals --------------------------------------------------------
+    def _refill(self, cache: Cache, addr: int, now: int, is_write: bool) -> int:
+        """Latency of a line fill from L2 (and beyond) including the bus."""
+        self.mshrs.expire(now)
+        line = cache.line_addr(addr)
+        if self.mshrs.pending(line):
+            # secondary miss: piggyback on the in-flight fill.
+            self.mshrs.allocate(line, self.mshrs.ready_cycle(line))
+            return max(0, self.mshrs.ready_cycle(line) - now)
+        xfer = self.bus.transfer_cycles(cache.config.line_bytes)
+        done = self.bus.request(now, xfer)
+        bus_part = done - now
+        l2_latency = self.l2.access(addr + self.addr_offset, is_write,
+                                    now + bus_part)
+        total = bus_part + l2_latency
+        if not self.mshrs.allocate(line, now + total):
+            # L1 MSHR file full: stall until the earliest fill returns.
+            earliest = min(e.ready_cycle
+                           for e in self.mshrs._entries.values())
+            stall = max(0, earliest - now)
+            self.stats.mshr_stall_cycles += stall
+            self.mshrs.expire(earliest)
+            self.mshrs.allocate(line, now + stall + total)
+            total += stall
+        return total
+
+    def _fill_wait(self, cache: Cache, addr: int, now: int) -> int:
+        """Extra wait when the line 'hits' but its fill is still in
+        flight (the tag array allocates at miss time; data arrives when
+        the MSHR entry matures)."""
+        line = cache.line_addr(addr)
+        if self.mshrs.pending(line):
+            return max(0, self.mshrs.ready_cycle(line) - now)
+        return 0
+
+    # -- public accesses ----------------------------------------------------
+    def ifetch_latency(self, pc: int, now: int) -> int:
+        """Instruction fetch of the line containing ``pc``."""
+        self.stats.ifetches += 1
+        latency = self.itlb.translate(pc)
+        result = self.icache.access(pc, is_write=False)
+        latency += result.latency
+        if not result.hit:
+            self.stats.l1i_miss += 1
+            latency += self._refill(self.icache, pc, now + latency,
+                                    is_write=False)
+        else:
+            self.mshrs.expire(now)
+            latency += self._fill_wait(self.icache, pc, now + latency)
+        return latency
+
+    def load_latency(self, addr: int, now: int) -> int:
+        """Data load latency."""
+        self.stats.loads += 1
+        latency = self.dtlb.translate(addr)
+        result = self.dcache.access(addr, is_write=False)
+        latency += result.latency
+        if not result.hit:
+            self.stats.l1d_miss += 1
+            latency += self._refill(self.dcache, addr, now + latency,
+                                    is_write=False)
+        else:
+            self.mshrs.expire(now)
+            latency += self._fill_wait(self.dcache, addr, now + latency)
+        return latency
+
+    def store_latency(self, addr: int, now: int) -> int:
+        """Data store latency *into the L1 only*.
+
+        Write-through stores also leave the core; routing that copy (CB,
+        write buffer, direct L2) and any resulting back-pressure is done by
+        the system model that owns this port.
+        """
+        self.stats.stores += 1
+        latency = self.dtlb.translate(addr)
+        result = self.dcache.access(addr, is_write=True)
+        latency += result.latency
+        if not result.hit and self.dcache.config.allocates_on_write:
+            self.stats.l1d_miss += 1
+            latency += self._refill(self.dcache, addr, now + latency,
+                                    is_write=True)
+            if result.writeback_line is not None:
+                # dirty eviction travels over the bus too
+                xfer = self.bus.transfer_cycles(self.dcache.config.line_bytes)
+                self.bus.request(now + latency, xfer)
+        return latency
+
+
+class MemoryHierarchy:
+    """Bus + L2 + one MemPort per core."""
+
+    def __init__(self, n_cores: int = 2,
+                 icache_cfg: Optional[CacheConfig] = None,
+                 dcache_cfg: Optional[CacheConfig] = None,
+                 l2: Optional[SharedL2] = None,
+                 bus: Optional[Bus] = None,
+                 l1_mshrs: int = 10) -> None:
+        self.bus = bus or Bus(width_bytes=8)
+        self.l2 = l2 or SharedL2()
+        self.ports: List[MemPort] = [
+            MemPort(self.bus, self.l2,
+                    icache_cfg=icache_cfg, dcache_cfg=dcache_cfg,
+                    l1_mshrs=l1_mshrs, name=f"core{i}")
+            for i in range(n_cores)
+        ]
+
+    def port(self, core_id: int) -> MemPort:
+        return self.ports[core_id]

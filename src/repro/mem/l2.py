@@ -1,0 +1,68 @@
+"""Shared ECC-protected L2.
+
+Table I: 4 MB, 8-way, 64-byte lines, 20-cycle access, 20 MSHRs. Both
+cores of a redundant pair (and, in the 4-core configuration, both pairs)
+share it. The L2 is SECDED-protected in *both* architectures, so it sits
+outside every region-of-error-coverage comparison; its role here is purely
+latency and MSHR-bounded concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mem.cache import Cache, CacheConfig, WritePolicy
+from repro.mem.dram import DRAM
+from repro.mem.mshr import MSHRFile
+
+
+class SharedL2:
+    """L2 + its MSHRs + the DRAM behind it."""
+
+    def __init__(self,
+                 config: Optional[CacheConfig] = None,
+                 mshrs: int = 20,
+                 dram: Optional[DRAM] = None) -> None:
+        self.config = config or CacheConfig(
+            size_bytes=4 * 1024 * 1024, assoc=8, line_bytes=64,
+            hit_latency=20, policy=WritePolicy.WRITE_BACK)
+        self.cache = Cache(self.config, name="L2")
+        self.mshrs = MSHRFile(mshrs)
+        self.dram = dram or DRAM()
+
+    def access(self, addr: int, is_write: bool, now: int) -> int:
+        """Service a request arriving at cycle ``now``; returns total latency.
+
+        On a miss the DRAM fill latency is added; concurrent misses to the
+        same line merge in the MSHRs; a full MSHR file serialises behind
+        the oldest outstanding miss (modelled as waiting for the earliest
+        ready entry).
+        """
+        self.mshrs.expire(now)
+        line = self.cache.line_addr(addr)
+        if self.mshrs.pending(line):
+            # merge: ready when the in-flight fill lands, plus the hit time
+            # to read it out.
+            wait = max(0, self.mshrs.ready_cycle(line) - now)
+            self.mshrs.allocate(line, self.mshrs.ready_cycle(line))
+            return wait + self.config.hit_latency
+
+        result = self.cache.access(addr, is_write)
+        if result.hit:
+            return result.latency
+
+        fill_latency = self.config.hit_latency + self.dram.access(addr)
+        ready = now + fill_latency
+        if not self.mshrs.allocate(line, ready):
+            # structural stall: wait for the earliest outstanding entry,
+            # then retry-cost is folded into one extra hit latency.
+            earliest = min(e.ready_cycle for e in self.mshrs._entries.values())
+            stall = max(0, earliest - now)
+            self.mshrs.expire(earliest)
+            self.mshrs.allocate(line, earliest + fill_latency)
+            return stall + fill_latency
+        return fill_latency
+
+    def reset_stats(self) -> None:
+        self.cache.reset_stats()
+        self.dram.accesses = 0

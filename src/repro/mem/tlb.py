@@ -1,0 +1,73 @@
+"""Instruction/data TLB timing model.
+
+Table I gives a 48-entry 2-way I-TLB and a 64-entry 2-way D-TLB. A TLB
+miss costs a fixed page-walk penalty. Like the caches, the TLB is a
+tag-only structure; it is also one of the parity-protected storage blocks
+in UnSync's detection inventory (Sec III-B-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    entries: int = 64
+    assoc: int = 2
+    page_bytes: int = 4096
+    miss_penalty: int = 30
+
+    def __post_init__(self) -> None:
+        if self.entries % self.assoc:
+            raise ValueError("entries must be a multiple of assoc")
+        if self.page_bytes & (self.page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.entries // self.assoc
+
+
+class TLB:
+    """Set-associative TLB with LRU replacement."""
+
+    def __init__(self, config: TLBConfig, name: str = "tlb") -> None:
+        self.config = config
+        self.name = name
+        self._sets: Dict[int, List[Tuple[int, int]]] = {}  # index -> [(tag, last_use)]
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _index_tag(self, addr: int) -> Tuple[int, int]:
+        vpn = addr // self.config.page_bytes
+        return vpn % self.config.n_sets, vpn // self.config.n_sets
+
+    def translate(self, addr: int) -> int:
+        """Access the TLB for ``addr``; returns added latency (0 on hit)."""
+        self._clock += 1
+        index, tag = self._index_tag(addr)
+        ways = self._sets.setdefault(index, [])
+        for i, (t, _) in enumerate(ways):
+            if t == tag:
+                self.hits += 1
+                ways[i] = (t, self._clock)
+                return 0
+        self.misses += 1
+        if len(ways) >= self.config.assoc:
+            victim = min(range(len(ways)), key=lambda i: ways[i][1])
+            ways.pop(victim)
+        ways.append((tag, self._clock))
+        return self.config.miss_penalty
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def resident_count(self) -> int:
+        return sum(len(w) for w in self._sets.values())
+
+    def flush(self) -> None:
+        self._sets.clear()

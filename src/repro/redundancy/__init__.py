@@ -1,0 +1,15 @@
+"""Shared machinery for redundant core-pair systems.
+
+Both UnSync and Reunion are *core pairs running one thread twice* over a
+shared bus + L2. :class:`~repro.redundancy.pair.DualCoreSystem` owns that
+common shape — construction, the cycle loop, completion detection, result
+assembly — and exposes one hook (``on_cycle``) plus per-core commit gates
+for the scheme-specific behaviour. The unprotected baseline that Figures
+4-6 normalise against lives here too (a single core with a plain store
+write buffer).
+"""
+
+from repro.redundancy.pair import DualCoreSystem, BaselineSystem
+from repro.redundancy.stats import RunResult, WriteBuffer
+
+__all__ = ["DualCoreSystem", "BaselineSystem", "RunResult", "WriteBuffer"]

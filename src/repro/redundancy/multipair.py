@@ -1,0 +1,120 @@
+"""Multi-pair CMP: the paper's full 4-core configuration.
+
+Figure 1 shows *two* UnSync core-pairs sharing one ECC L2; Table I's
+machine is a 4-core CMP. :class:`MultiPairSystem` composes any number of
+pair systems (UnSync or Reunion, independently per pair) over one shared
+bus + L2, each pair running its own workload in its own L2 address window.
+This is what exposes the cross-pair interference that single-pair runs
+cannot: CB drains and L1 refills of pair 0 contend with those of pair 1.
+
+"The number and pairs of redundant cores in the multi-core system can be
+configured by the user, based on reliability and performance
+requirements" (Sec I) — the ``schemes`` argument is that knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.isa.program import Program
+from repro.mem.bus import Bus
+from repro.mem.l2 import SharedL2
+from repro.redundancy.stats import RunResult
+
+#: spacing of per-pair L2 address windows; far larger than any kernel
+#: footprint, and the L2 index hashing spreads the windows across sets.
+PAIR_ADDR_STRIDE = 0x2000_0000
+
+
+@dataclass
+class MultiPairResult:
+    """Per-pair results plus shared-uncore statistics."""
+
+    pair_results: List[RunResult]
+    total_cycles: int
+    bus_busy_cycles: int
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Total committed instructions per cycle across all pairs."""
+        total_instructions = sum(r.instructions for r in self.pair_results)
+        return total_instructions / self.total_cycles if self.total_cycles else 0.0
+
+
+class MultiPairSystem:
+    """N redundant pairs on one shared bus + L2."""
+
+    def __init__(self,
+                 programs: Sequence[Program],
+                 schemes: Optional[Sequence[str]] = None,
+                 config: Optional[SystemConfig] = None,
+                 **pair_kwargs) -> None:
+        """
+        Parameters
+        ----------
+        programs:
+            One program per pair.
+        schemes:
+            Per-pair scheme name, ``"unsync"`` or ``"reunion"``
+            (default: all UnSync, the Figure 1 configuration).
+        pair_kwargs:
+            Extra keyword arguments forwarded to every pair constructor
+            (e.g. ``unsync=UnSyncConfig(...)`` for UnSync pairs).
+        """
+        from repro.reunion.system import ReunionSystem
+        from repro.unsync.system import UnSyncSystem
+
+        if not programs:
+            raise ValueError("need at least one pair")
+        schemes = list(schemes) if schemes is not None else \
+            ["unsync"] * len(programs)
+        if len(schemes) != len(programs):
+            raise ValueError("one scheme per program")
+
+        self.config = config or SystemConfig.table1()
+        self.bus = Bus(width_bytes=self.config.bus_width_bytes)
+        self.l2 = SharedL2(config=self.config.l2,
+                           mshrs=self.config.l2_mshrs)
+        self.pairs = []
+        for i, (program, scheme) in enumerate(zip(programs, schemes)):
+            kwargs = dict(pair_kwargs)
+            if scheme == "unsync":
+                cls = UnSyncSystem
+            elif scheme == "reunion":
+                cls = ReunionSystem
+            else:
+                raise ValueError(f"unknown pair scheme {scheme!r}")
+            self.pairs.append(cls(
+                program, config=self.config,
+                bus=self.bus, l2=self.l2,
+                addr_offset=i * PAIR_ADDR_STRIDE,
+                name=f"pair{i}.{program.name}",
+                **kwargs))
+        self.now = 0
+
+    def finished(self) -> bool:
+        return all(p.finished() for p in self.pairs)
+
+    def step(self) -> None:
+        for pair in self.pairs:
+            if not pair.finished():
+                pair.on_cycle(self.now)
+        for pair in self.pairs:
+            for pipeline in pair.pipelines:
+                pipeline.step(self.now)
+        self.now += 1
+
+    def run(self, max_cycles: int = 8_000_000) -> MultiPairResult:
+        while not self.finished():
+            if self.now >= max_cycles:
+                raise RuntimeError(
+                    f"multi-pair system exceeded {max_cycles} cycles")
+            self.step()
+        results = [p.result() for p in self.pairs]
+        return MultiPairResult(
+            pair_results=results,
+            total_cycles=max(r.cycles for r in results),
+            bus_busy_cycles=self.bus.stats.busy_cycles,
+        )

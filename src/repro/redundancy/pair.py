@@ -1,0 +1,195 @@
+"""Dual-core system scaffolding and the unprotected baseline.
+
+:class:`DualCoreSystem` is the common chassis: two cores running the same
+program over one shared bus + L2 (the paper's core-pair), stepped in
+lockstep of *wall-clock cycles only* — the cores' pipelines drift apart
+freely, which is the whole point of UnSync. Subclasses install commit
+gates and override :meth:`DualCoreSystem.on_cycle` for their drain /
+verification engines.
+
+:class:`BaselineSystem` is the single, unprotected Table I core with a
+store write buffer — the reference every Figure 4-6 overhead is computed
+against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.pipeline import CommitGate, Pipeline
+from repro.core.rob import ROBEntry
+from repro.isa.program import Program
+from repro.mem.bus import Bus
+from repro.mem.hierarchy import MemPort
+from repro.mem.l2 import SharedL2
+from repro.mem.prewarm import prewarm_l2
+from repro.redundancy.stats import RunResult, WriteBuffer
+
+
+class DualCoreSystem:
+    """Two cores, one thread, shared L2 — the redundant-pair chassis."""
+
+    scheme = "pair"
+
+    def __init__(self, program: Program,
+                 config: Optional[SystemConfig] = None,
+                 name: Optional[str] = None,
+                 bus: Optional[Bus] = None,
+                 l2: Optional[SharedL2] = None,
+                 addr_offset: int = 0) -> None:
+        self.program = program
+        self.config = config or SystemConfig.table1()
+        self.name = name or program.name
+        # bus/l2 may be supplied by a multi-pair chassis so that several
+        # pairs contend for the same uncore (the paper's 4-core CMP)
+        self.bus = bus if bus is not None else Bus(
+            width_bytes=self.config.bus_width_bytes)
+        self.l2 = l2 if l2 is not None else SharedL2(
+            config=self.config.l2, mshrs=self.config.l2_mshrs)
+        self.addr_offset = addr_offset
+        prewarm_l2(self.l2, program, addr_offset)
+        self.ports: List[MemPort] = []
+        self.pipelines: List[Pipeline] = []
+        for i in range(2):
+            port = MemPort(self.bus, self.l2,
+                           icache_cfg=self.config.icache,
+                           dcache_cfg=self.config.dcache,
+                           itlb_cfg=self.config.itlb,
+                           dtlb_cfg=self.config.dtlb,
+                           l1_mshrs=self.config.l1_mshrs,
+                           name=f"{self.name}.core{i}",
+                           addr_offset=addr_offset)
+            self.ports.append(port)
+            gate = self.make_gate(i)
+            self.pipelines.append(Pipeline(program, self.config.core, port,
+                                           gate=gate, name=f"core{i}"))
+        self.now = 0
+
+    # -- scheme hooks ------------------------------------------------------
+    def make_gate(self, core_id: int) -> CommitGate:
+        """Commit gate for core ``core_id`` (override per scheme)."""
+        return CommitGate()
+
+    def on_cycle(self, now: int) -> None:
+        """Per-cycle housekeeping before the cores step (drains, checks)."""
+
+    def finished(self) -> bool:
+        return all(p.done for p in self.pipelines)
+
+    def extra_stats(self) -> dict:
+        """Scheme-specific counters merged into the result."""
+        return {}
+
+    # -- driving -----------------------------------------------------------
+    def step(self) -> None:
+        self.on_cycle(self.now)
+        for p in self.pipelines:
+            p.step(self.now)
+        self.now += 1
+
+    def run(self, max_cycles: int = 2_000_000) -> RunResult:
+        while not self.finished():
+            if self.now >= max_cycles:
+                raise RuntimeError(
+                    f"{self.name}[{self.scheme}]: exceeded {max_cycles} "
+                    f"cycles (committed: "
+                    f"{[p.stats.committed for p in self.pipelines]})")
+            self.step()
+        return self.result()
+
+    def result(self) -> RunResult:
+        # per-thread performance: the pair retires ONE logical thread, so
+        # cycles = slowest core's completion, instructions = one stream.
+        cycles = max(p.stats.cycles for p in self.pipelines)
+        instructions = self.pipelines[0].stats.committed
+        return RunResult(
+            name=self.name,
+            scheme=self.scheme,
+            cycles=cycles,
+            instructions=instructions,
+            state=self.pipelines[0].committed_state,
+            core_stats=[p.stats for p in self.pipelines],
+            extra=self.extra_stats(),
+        )
+
+    # -- verification helper -------------------------------------------------
+    def states_agree(self) -> bool:
+        """Architectural agreement between the two cores (fault-free
+        invariant; tests lean on this)."""
+        a, b = self.pipelines
+        return (a.committed_state.regs == b.committed_state.regs
+                and a.committed_state.mem == b.committed_state.mem)
+
+
+class _WriteBufferGate(CommitGate):
+    """Baseline gate: retired stores enter the write buffer."""
+
+    def __init__(self, system: "BaselineSystem") -> None:
+        self.system = system
+
+    def can_commit(self, entry: ROBEntry, now: int) -> bool:
+        if entry.is_store:
+            return self.system.wbuf.can_accept()
+        return True
+
+    def on_commit(self, entry: ROBEntry, now: int) -> None:
+        if entry.is_store:
+            self.system.wbuf.push(entry.seq, entry.mem_addr,
+                                  entry.store_value, entry.ins.mem_width)
+
+
+class BaselineSystem:
+    """Single unprotected core + write buffer: the Figure 4-6 reference."""
+
+    scheme = "baseline"
+
+    def __init__(self, program: Program,
+                 config: Optional[SystemConfig] = None,
+                 wbuf_entries: int = 16,
+                 name: Optional[str] = None) -> None:
+        self.program = program
+        self.config = config or SystemConfig.table1()
+        self.name = name or program.name
+        self.bus = Bus(width_bytes=self.config.bus_width_bytes)
+        self.l2 = SharedL2(config=self.config.l2, mshrs=self.config.l2_mshrs)
+        prewarm_l2(self.l2, program)
+        self.port = MemPort(self.bus, self.l2,
+                            icache_cfg=self.config.icache,
+                            dcache_cfg=self.config.dcache,
+                            itlb_cfg=self.config.itlb,
+                            dtlb_cfg=self.config.dtlb,
+                            l1_mshrs=self.config.l1_mshrs,
+                            name=f"{self.name}.core0")
+        self.wbuf = WriteBuffer(capacity=wbuf_entries)
+        self.pipeline = Pipeline(program, self.config.core, self.port,
+                                 gate=_WriteBufferGate(self), name="core0")
+        self.now = 0
+
+    def step(self) -> None:
+        # drain the write buffer whenever the bus is idle
+        while len(self.wbuf):
+            head = self.wbuf.head()
+            xfer = self.bus.transfer_cycles(self.wbuf.entry_bytes)
+            if self.bus.try_request(self.now, xfer) < 0:
+                break
+            self.wbuf.pop()
+            self.l2.access(head[1], is_write=True, now=self.now)
+        self.pipeline.step(self.now)
+        self.now += 1
+
+    def run(self, max_cycles: int = 2_000_000) -> RunResult:
+        while not self.pipeline.done:
+            if self.now >= max_cycles:
+                raise RuntimeError(
+                    f"{self.name}[baseline]: exceeded {max_cycles} cycles")
+            self.step()
+        return RunResult(
+            name=self.name,
+            scheme=self.scheme,
+            cycles=self.pipeline.stats.cycles,
+            instructions=self.pipeline.stats.committed,
+            state=self.pipeline.committed_state,
+            core_stats=[self.pipeline.stats],
+            extra={"wbuf_full_stalls": float(self.wbuf.full_stalls)},
+        )

@@ -1,0 +1,273 @@
+"""ReunionSystem: vocal/mute core pair with fingerprint verification.
+
+Core 0 is the *vocal* core (its stores are released to the memory
+hierarchy); core 1 is *mute*. Completed instructions enter the CHECK-stage
+buffer in program order, each group's CRC-16 is compared across the pair
+after the comparison latency, and only verified instructions commit. A
+mismatch rolls both cores back to their committed (== last verified)
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.pipeline import CommitGate
+from repro.core.rob import ROBEntry
+from repro.faults.detection import Detector, NoDetector
+from repro.faults.events import FaultEvent, Outcome
+from repro.faults.injector import (
+    BlockInventory, FaultInjector, REUNION_DETECTORS, Strike,
+)
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.redundancy.pair import DualCoreSystem
+from repro.redundancy.stats import WriteBuffer
+from repro.reunion.check_stage import CheckStage, ReunionParams
+from repro.reunion.csb import CheckStageBuffer, csb_entries_for
+
+
+class _ReunionGate(CommitGate):
+    """Per-core gate implementing the CHECK stage protocol."""
+
+    def __init__(self, system: "ReunionSystem", core_id: int) -> None:
+        self.system = system
+        self.core_id = core_id
+        self.next_csb_seq = 0
+
+    def dispatch_allowed(self, now: int) -> bool:
+        return self.system.check.dispatch_allowed(self.core_id, now)
+
+    def on_dispatch(self, entry: ROBEntry, now: int) -> None:
+        entry.fp_group = self.system.check.on_dispatch(
+            self.core_id, entry.seq, entry.ins.is_serializing,
+            end_of_program=entry.ins.op is Opcode.HALT, now=now)
+
+    def on_complete(self, entry: ROBEntry, now: int) -> bool:
+        if entry.seq != self.next_csb_seq:
+            return False  # CHECK admission is in program order
+        csb = self.system.csbs[self.core_id]
+        if csb.full:
+            csb.full_stalls += 1
+            return False
+        csb.push(entry.seq, entry.fp_group)
+        self.next_csb_seq += 1
+        check = self.system.check
+        if check.needs_hash(entry.fp_group):
+            check.record_completion(
+                self.core_id, entry.fp_group, entry.pc,
+                result=entry.result,
+                store_addr=entry.mem_addr if entry.is_store else None,
+                store_value=entry.store_value,
+                now=now)
+        return True
+
+    def can_commit(self, entry: ROBEntry, now: int) -> bool:
+        if not self.system.check.is_verified(entry.fp_group, now):
+            return False
+        if entry.is_store and self.core_id == ReunionSystem.VOCAL:
+            # verified stores need a release-queue slot on the vocal core
+            return self.system.store_queue.can_accept()
+        return True
+
+    def on_commit(self, entry: ROBEntry, now: int) -> None:
+        csb = self.system.csbs[self.core_id]
+        head = csb.head()
+        if head is None or head.seq != entry.seq:  # pragma: no cover
+            raise RuntimeError("CSB/commit order diverged")
+        csb.pop()
+        if entry.is_store and self.core_id == ReunionSystem.VOCAL:
+            # a single instance of each verified store reaches memory
+            self.system.store_queue.push(entry.seq, entry.mem_addr,
+                                         entry.store_value,
+                                         entry.ins.mem_width)
+
+
+class ReunionSystem(DualCoreSystem):
+    """Fingerprint-compared redundant pair (the comparison baseline)."""
+
+    scheme = "reunion"
+    VOCAL = 0
+
+    def __init__(self, program: Program,
+                 config: Optional[SystemConfig] = None,
+                 params: Optional[ReunionParams] = None,
+                 csb_entries: Optional[int] = None,
+                 injector: Optional[FaultInjector] = None,
+                 detectors: Optional[Dict[str, Detector]] = None,
+                 name: Optional[str] = None,
+                 **uncore) -> None:
+        self.params = params or ReunionParams()
+        self.check = CheckStage(self.params)
+        # Performance default: generous CSB so that — as in the paper's
+        # Figure 5 narrative — the *ROB* is the structure that saturates
+        # under large FI / comparison latency, not the CSB. The paper's
+        # hardware sizing rule (csb_entries_for, 17 entries at FI=10 with
+        # the minimum 6-cycle latency) is what the Table II cost model
+        # charges; pass csb_entries explicitly to study CSB-bound setups.
+        if csb_entries is not None:
+            capacity = csb_entries
+        else:
+            capacity = (self.params.fingerprint_interval
+                        + 4 * self.params.comparison_latency)
+        self.csbs: List[CheckStageBuffer] = [
+            CheckStageBuffer(capacity) for _ in range(2)]
+        self.store_queue = WriteBuffer(capacity=16)
+        self.injector = injector
+        self.detectors = detectors if detectors is not None else dict(REUNION_DETECTORS)
+        self.inventory = (injector.inventory if injector is not None
+                          else BlockInventory())
+        self.fault_events: List[FaultEvent] = []
+        self.rollbacks = 0
+        self.rollback_cycles_total = 0
+        self.incoherence_events = 0
+        self.incoherence_syncs = 0
+        self.incoherence_cycles = 0
+        self._incoherence_rng = None
+        self._next_strike: Optional[Strike] = None
+        #: fault events awaiting group-verdict adjudication
+        self._unbound_events: List[FaultEvent] = []
+        super().__init__(program, config, name=name, **uncore)
+        if self.injector is not None:
+            self._arm_next_strike(0)
+
+    # -- construction hooks -----------------------------------------------
+    def make_gate(self, core_id: int) -> CommitGate:
+        return _ReunionGate(self, core_id)
+
+    # -- per-cycle engine ---------------------------------------------------
+    def on_cycle(self, now: int) -> None:
+        if self.injector is not None:
+            self._process_strikes(now)
+        if self.params.input_incoherence_rate > 0:
+            self._process_incoherence(now)
+        self._adjudicate(now)
+        mismatch = self.check.mismatch_ready(now)
+        if mismatch is not None:
+            self._rollback(now, mismatch)
+        # drain the vocal store queue whenever the bus is idle
+        while len(self.store_queue):
+            head = self.store_queue.head()
+            xfer = self.bus.transfer_cycles(self.store_queue.entry_bytes)
+            if self.bus.try_request(now, xfer) < 0:
+                break
+            self.store_queue.pop()
+            self.l2.access(head[1] + self.addr_offset, is_write=True, now=now)
+
+    # -- input incoherence (relaxed input replication) -------------------------
+    def _process_incoherence(self, now: int) -> None:
+        """Sample racing-writer events and charge their costs.
+
+        Both cores stall for the re-issue (their loads must be replayed
+        at the same point of the instruction stream); an escalated event
+        additionally pays the synchronizing request and occupies the bus.
+        """
+        import random
+        if self._incoherence_rng is None:
+            self._incoherence_rng = random.Random(0xC0)
+        rng = self._incoherence_rng
+        if rng.random() >= self.params.input_incoherence_rate:
+            return
+        self.incoherence_events += 1
+        penalty = self.params.reissue_penalty
+        if rng.random() < self.params.incoherence_escalation_prob:
+            self.incoherence_syncs += 1
+            penalty += self.params.sync_request_penalty
+            self.bus.request(now, self.bus.transfer_cycles(64))
+        for pipeline in self.pipelines:
+            pipeline.frozen_until = max(pipeline.frozen_until, now + penalty)
+        self.incoherence_cycles += penalty
+
+    # -- faults -------------------------------------------------------------
+    def _arm_next_strike(self, now: int) -> None:
+        interval = self.injector.next_interval()
+        if interval == float("inf"):
+            self._next_strike = None
+            return
+        self._next_strike = self.injector.strike_at(now + max(1, int(interval)))
+
+    def _process_strikes(self, now: int) -> None:
+        while self._next_strike is not None and self._next_strike.cycle <= now:
+            strike = self._next_strike
+            core_id = strike.bit % 2
+            block = self.inventory.get(strike.block)
+            event = FaultEvent(cycle=now, core_id=core_id,
+                               block=strike.block, bit=strike.bit)
+            detector = self.detectors.get(strike.block, NoDetector())
+            result = detector.check(1)
+            if result.corrected:
+                # SECDED L1: fixed in place, execution unaffected
+                event.outcome = Outcome.DETECTED_RECOVERED
+                event.detection_latency = result.latency_cycles
+            elif block.pre_commit:
+                # the corruption flows into the next fingerprint; verdict
+                # adjudicated when the group comparison lands.
+                self.check.corrupt_next[core_id] = True
+                event.outcome = None  # pending
+                self._unbound_events.append(event)
+            else:
+                event.outcome = Outcome.SDC
+            self.fault_events.append(event)
+            self._arm_next_strike(now)
+
+    def _adjudicate(self, now: int) -> None:
+        """Resolve pending fault events once their group's verdict lands."""
+        unbound = self._unbound_events
+        if not unbound:
+            return
+        check = self.check
+        resolved = []
+        for event in unbound:
+            # find a corrupted group with a verdict
+            for group in sorted(check.corrupted_groups):
+                if check.was_compared(group):
+                    verdict_ok = check.is_verified(group, now + 10**9)
+                    if verdict_ok:
+                        event.outcome = Outcome.SDC  # CRC aliased
+                    else:
+                        event.outcome = Outcome.DETECTED_RECOVERED
+                        event.detection_latency = max(0, now - event.cycle)
+                    check.corrupted_groups.discard(group)
+                    resolved.append(event)
+                    break
+        for event in resolved:
+            unbound.remove(event)
+
+    # -- rollback -------------------------------------------------------------
+    def _rollback(self, now: int, group: int) -> None:
+        """Squash both cores back to their committed (verified) state."""
+        self.rollbacks += 1
+        penalty = self.params.rollback_penalty
+        committed = []
+        for core_id, pipeline in enumerate(self.pipelines):
+            pipeline.flush_pipeline()
+            pipeline.frozen_until = max(pipeline.frozen_until, now + penalty)
+            gate: _ReunionGate = pipeline.gate  # type: ignore[assignment]
+            gate.next_csb_seq = pipeline.stats.committed
+            self.csbs[core_id].clear()
+            committed.append(pipeline.stats.committed)
+        self.check.reset_unverified(committed)
+        self.rollback_cycles_total += penalty
+
+    # -- results ---------------------------------------------------------------
+    def extra_stats(self) -> dict:
+        return {
+            "fingerprints_compared": float(self.check.fingerprints_compared),
+            "mismatches": float(self.check.mismatches),
+            "aliased_corruptions": float(self.check.aliased_corruptions),
+            "rollbacks": float(self.rollbacks),
+            "rollback_cycles": float(self.rollback_cycles_total),
+            "csb_full_stalls": float(sum(c.full_stalls for c in self.csbs)),
+            "serializing_drains": float(
+                self.pipelines[0].stats.dispatch_stall_gate),
+            "incoherence_events": float(self.incoherence_events),
+            "incoherence_syncs": float(self.incoherence_syncs),
+            "incoherence_cycles": float(self.incoherence_cycles),
+        }
+
+    def result(self):
+        res = super().result()
+        res.fault_events = list(self.fault_events)
+        return res

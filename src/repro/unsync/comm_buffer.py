@@ -1,0 +1,122 @@
+"""The Communication Buffer (CB).
+
+Sec III-A: "Data written into the L1-cache of a core, as it leaves the
+core (as in a write-through cache), is written into a non-coalescing CB,
+one for each core in the core-pair. In the CB, each updated entry is
+tagged with its corresponding instruction address. As and when the L1-L2
+data bus is free, the latest entry that has completed execution on both
+the CB is selected; and one copy of all the CB entries earlier to this are
+written into the L2 cache."
+
+Because both cores retire the identical store stream in order, each CB is
+a FIFO of the same sequence; the "latest entry completed on both" rule is
+exactly the matched FIFO prefix, which :func:`matched_drain` computes.
+
+A full CB back-pressures its core's commit stage — the mechanism behind
+Figure 6.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+
+#: Paper sizing: one entry holds address + data + instruction tag. The
+#: Reunion CSB entry is 66 bits; the CB entry carries a 32-bit address,
+#: 32-bit data and a tag, so we budget 12 bytes per entry when converting
+#: Figure 6's KB sizes to entry counts.
+ENTRY_BYTES = 12
+
+
+@dataclass(frozen=True)
+class CBEntry:
+    """One retired store, tagged with its dynamic sequence number (the
+    simulator's stand-in for the paper's instruction-address tag)."""
+
+    seq: int
+    addr: int
+    value: int
+    width: int
+
+
+class CommBuffer:
+    """Non-coalescing FIFO of retired stores for one core."""
+
+    def __init__(self, capacity_entries: int = 10,
+                 entry_bytes: int = ENTRY_BYTES) -> None:
+        if capacity_entries <= 0:
+            raise ValueError("CB needs at least one entry")
+        self.capacity = capacity_entries
+        self.entry_bytes = entry_bytes
+        self._fifo: Deque[CBEntry] = deque()
+        self.pushes = 0
+        self.drains = 0
+        self.full_stalls = 0
+
+    @classmethod
+    def from_kilobytes(cls, kb: float, entry_bytes: int = ENTRY_BYTES) -> "CommBuffer":
+        """Size a CB the way Figure 6's x-axis does (KB of buffer)."""
+        entries = max(1, int(kb * 1024 // entry_bytes))
+        return cls(capacity_entries=entries, entry_bytes=entry_bytes)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.capacity * self.entry_bytes
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def full(self) -> bool:
+        return len(self._fifo) >= self.capacity
+
+    def can_accept(self) -> bool:
+        if self.full:
+            self.full_stalls += 1
+            return False
+        return True
+
+    def push(self, entry: CBEntry) -> None:
+        if self.full:
+            raise RuntimeError("push into full CB")
+        if self._fifo and entry.seq <= self._fifo[-1].seq:
+            raise ValueError("CB entries must arrive in retirement order")
+        self._fifo.append(entry)
+        self.pushes += 1
+
+    def head(self) -> Optional[CBEntry]:
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> CBEntry:
+        self.drains += 1
+        return self._fifo.popleft()
+
+    def entries(self) -> Tuple[CBEntry, ...]:
+        return tuple(self._fifo)
+
+    def overwrite_from(self, other: "CommBuffer") -> None:
+        """Recovery step 5: replace contents with the clean core's CB."""
+        self._fifo = deque(other._fifo)
+
+    def clear(self) -> None:
+        self._fifo.clear()
+
+
+def matched_drain(cb_a: CommBuffer, cb_b: CommBuffer) -> int:
+    """Sequence number up to which both CBs hold (or have already drained)
+    the store stream — the drainable prefix boundary.
+
+    Entries with ``seq <= matched`` may be written to L2. Returns -1 when
+    nothing is drainable. Since both FIFOs observe the same retirement
+    order, the boundary is ``min`` over the two *youngest* entries, but
+    drains pop both FIFOs together so in steady state the heads agree; a
+    head mismatch can only mean one core ran ahead, and only the common
+    prefix drains.
+    """
+    if not len(cb_a) or not len(cb_b):
+        return -1
+    youngest_a = cb_a._fifo[-1].seq
+    youngest_b = cb_b._fifo[-1].seq
+    return min(youngest_a, youngest_b)

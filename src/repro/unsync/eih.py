@@ -1,0 +1,65 @@
+"""Error Interrupt Handler (EIH).
+
+One EIH serves each core-pair. Detection blocks raise an interrupt to the
+EIH; the EIH broadcasts RECOVERY to both cores and the CB. The paper's
+Figure 2 discussion is explicit that this signalling takes "a non-zero
+number of cycles" — that window is where the write-back-cache
+unrecoverability argument lives, so the latency is a first-class knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class EIHConfig:
+    """Latency parameters of the detection-to-recovery path."""
+
+    #: cycles from a detector firing to the EIH receiving the interrupt
+    signal_latency: int = 2
+    #: cycles from EIH broadcast to both pipelines being fully stalled
+    stall_latency: int = 3
+
+
+@dataclass
+class _PendingInterrupt:
+    raise_cycle: int
+    core_id: int
+    block: str
+
+
+class ErrorInterruptHandler:
+    """Collects error interrupts and schedules pair-wide recovery."""
+
+    def __init__(self, config: Optional[EIHConfig] = None) -> None:
+        self.config = config or EIHConfig()
+        self._pending: List[_PendingInterrupt] = []
+        self.interrupts_received = 0
+        self.recoveries_signalled = 0
+
+    def raise_interrupt(self, now: int, core_id: int, block: str) -> None:
+        """A detector on ``core_id`` fired at cycle ``now``."""
+        self._pending.append(_PendingInterrupt(now, core_id, block))
+        self.interrupts_received += 1
+
+    def poll(self, now: int) -> Optional[Tuple[int, str, int]]:
+        """The recovery the pair must begin at cycle ``now``, if any.
+
+        Returns ``(erroneous_core_id, block, stall_complete_cycle)`` once
+        ``signal_latency`` has elapsed since the interrupt;
+        ``stall_complete_cycle`` is when both pipelines are quiesced and
+        state copying may begin.
+        """
+        for i, intr in enumerate(self._pending):
+            if now >= intr.raise_cycle + self.config.signal_latency:
+                self._pending.pop(i)
+                self.recoveries_signalled += 1
+                return (intr.core_id, intr.block,
+                        now + self.config.stall_latency)
+        return None
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)

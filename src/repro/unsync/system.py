@@ -1,0 +1,222 @@
+"""UnSyncSystem: the full architecture wired together.
+
+Composition (Figure 1): two cores with write-through L1s -> per-core
+Communication Buffers -> one copy drains to the shared ECC L2 when the bus
+is free; parity/DMR detectors on every sequential block -> EIH -> pair-wide
+always-forward recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.core.pipeline import CommitGate
+from repro.core.rob import ROBEntry
+from repro.faults.detection import Detector, NoDetector
+from repro.faults.events import FaultEvent, Outcome
+from repro.faults.injector import (
+    BlockInventory, FaultInjector, Strike, UNSYNC_DETECTORS,
+)
+from repro.isa.program import Program
+from repro.mem.cache import WritePolicy
+from repro.redundancy.pair import DualCoreSystem
+from repro.unsync.comm_buffer import CBEntry, CommBuffer
+from repro.unsync.eih import EIHConfig, ErrorInterruptHandler
+from repro.unsync.recovery import RecoveryCostModel
+
+
+@dataclass(frozen=True)
+class UnSyncConfig:
+    """UnSync-specific knobs on top of the Table I system."""
+
+    #: CB entries per core. The default is the 2 KB operating point —
+    #: Figure 6's knee, where CB back-pressure vanishes; the paper's
+    #: hardware synthesis point (10 entries, Table II) is what
+    #: ``repro.hwcost`` charges, and Figure 6 sweeps the full range via
+    #: :meth:`CommBuffer.from_kilobytes`.
+    cb_entries: int = 170
+    cb_entry_bytes: int = 12
+    #: bytes actually moved per drain: the 32-bit data + address pair
+    #: packs into one 64-bit bus beat.
+    drain_payload_bytes: int = 8
+    eih: EIHConfig = field(default_factory=EIHConfig)
+    recovery: RecoveryCostModel = field(default_factory=RecoveryCostModel)
+
+
+class _UnSyncGate(CommitGate):
+    """Per-core commit gate: stores need a CB slot to retire."""
+
+    def __init__(self, system: "UnSyncSystem", core_id: int) -> None:
+        self.system = system
+        self.core_id = core_id
+
+    def can_commit(self, entry: ROBEntry, now: int) -> bool:
+        if entry.is_store:
+            return self.system.cbs[self.core_id].can_accept()
+        return True
+
+    def on_commit(self, entry: ROBEntry, now: int) -> None:
+        if entry.is_store:
+            self.system.cbs[self.core_id].push(CBEntry(
+                seq=entry.seq, addr=entry.mem_addr,
+                value=entry.store_value, width=entry.ins.mem_width))
+
+
+class UnSyncSystem(DualCoreSystem):
+    """Two un-synchronized redundant cores with CB + EIH recovery."""
+
+    scheme = "unsync"
+
+    def __init__(self, program: Program,
+                 config: Optional[SystemConfig] = None,
+                 unsync: Optional[UnSyncConfig] = None,
+                 injector: Optional[FaultInjector] = None,
+                 detectors: Optional[Dict[str, Detector]] = None,
+                 name: Optional[str] = None,
+                 **uncore) -> None:
+        self.unsync = unsync or UnSyncConfig()
+        self.cbs: List[CommBuffer] = [
+            CommBuffer(self.unsync.cb_entries, self.unsync.cb_entry_bytes)
+            for _ in range(2)]
+        self.eih = ErrorInterruptHandler(self.unsync.eih)
+        self.injector = injector
+        self.detectors = detectors if detectors is not None else dict(UNSYNC_DETECTORS)
+        self.fault_events: List[FaultEvent] = []
+        self.recovery_cycles_total = 0
+        self._recovering_until = 0
+        self._next_strike: Optional[Strike] = None
+        # UnSync *requires* write-through L1s (Sec III-C-1)
+        cfg = config or SystemConfig.table1()
+        if cfg.dcache.policy is not WritePolicy.WRITE_THROUGH:
+            raise ValueError(
+                "UnSync requires a write-through L1 D-cache (see Figure 2's "
+                "unrecoverable write-back scenario)")
+        super().__init__(program, cfg, name=name, **uncore)
+        if self.injector is not None:
+            self._arm_next_strike(0)
+
+    # -- construction hooks --------------------------------------------------
+    def make_gate(self, core_id: int) -> CommitGate:
+        return _UnSyncGate(self, core_id)
+
+    # -- per-cycle engine ------------------------------------------------------
+    def on_cycle(self, now: int) -> None:
+        if self.injector is not None:
+            self._process_strikes(now)
+        pending = self.eih.poll(now)
+        if pending is not None:
+            self._recover(now, *pending)
+        if now >= self._recovering_until:
+            self._drain(now)
+
+    def _drain(self, now: int) -> None:
+        cb0, cb1 = self.cbs
+        while len(cb0) and len(cb1):
+            h0, h1 = cb0.head(), cb1.head()
+            if h0.seq != h1.seq:
+                # one core is mid-recovery resync; only the common prefix
+                # is drainable and the heads disagree — wait.
+                break
+            xfer = self.bus.transfer_cycles(self.unsync.drain_payload_bytes)
+            if self.bus.try_request(now, xfer) < 0:
+                break
+            cb0.pop()
+            cb1.pop()
+            # one copy of the data goes to the ECC L2
+            self.l2.access(h0.addr + self.addr_offset, is_write=True, now=now)
+
+    # -- faults ---------------------------------------------------------------
+    def _arm_next_strike(self, now: int) -> None:
+        interval = self.injector.next_interval()
+        if interval == float("inf"):
+            self._next_strike = None
+            return
+        cycle = now + max(1, int(interval))
+        strike = self.injector.strike_at(cycle)
+        self._next_strike = strike
+
+    def _process_strikes(self, now: int) -> None:
+        while self._next_strike is not None and self._next_strike.cycle <= now:
+            strike = self._next_strike
+            core_id = strike.bit % 2  # strikes land on either core uniformly
+            detector = self.detectors.get(strike.block, NoDetector())
+            result = detector.check(1)
+            event = FaultEvent(cycle=now, core_id=core_id,
+                               block=strike.block, bit=strike.bit)
+            if result.detected or result.corrected:
+                if result.corrected:
+                    # e.g. SECDED on a block: fixed in place, no recovery
+                    event.outcome = Outcome.DETECTED_RECOVERED
+                    event.detection_latency = result.latency_cycles
+                else:
+                    event.detection_latency = result.latency_cycles
+                    self.eih.raise_interrupt(now + result.latency_cycles,
+                                             core_id, strike.block)
+                    event.outcome = Outcome.DETECTED_RECOVERED
+            else:
+                event.outcome = Outcome.SDC
+            self.fault_events.append(event)
+            self._arm_next_strike(now)
+
+    def _recover(self, now: int, bad_core: int, block: str,
+                 stall_complete: int) -> None:
+        """Execute the six-step always-forward recovery."""
+        good_core = 1 - bad_core
+        good = self.pipelines[good_core]
+        bad = self.pipelines[bad_core]
+        plan = self.unsync.recovery.plan(
+            stall_cycles=max(0, stall_complete - now),
+            l1_resident_lines=self.ports[good_core].dcache.resident_count(),
+            cb_entries=len(self.cbs[good_core]),
+            cb_entry_bytes=self.unsync.cb_entry_bytes,
+        )
+        freeze_until = now + plan.total_cycles
+        for p in self.pipelines:
+            p.frozen_until = max(p.frozen_until, freeze_until)
+        self._recovering_until = freeze_until
+        self.recovery_cycles_total += plan.total_cycles
+
+        # steps 2-3: flush the erroneous pipeline, adopt the clean state
+        bad.flush_pipeline()
+        bad.adopt_state(good)
+        bad_port, good_port = self.ports[bad_core], self.ports[good_core]
+        if self.unsync.recovery.l1_restore == "copy":
+            # the copied L1 arrives warm: mirror the clean core's tags
+            bad_port.dcache._sets = {
+                idx: [replace_line(l) for l in ways]
+                for idx, ways in good_port.dcache._sets.items()}
+        else:
+            # write-through L1: invalidation is sufficient, refills come
+            # from the ECC L2 (cost shows up as post-recovery misses)
+            bad_port.dcache.invalidate_all()
+        bad_port.icache.invalidate_all()
+        # step 5: overwrite the erroneous CB
+        self.cbs[bad_core].overwrite_from(self.cbs[good_core])
+        # the copy traffic owns the bus for its duration
+        self.bus.request(now, max(1, plan.total_cycles - plan.stall_cycles))
+        if self.fault_events:
+            self.fault_events[-1].recovery_cycles = plan.total_cycles
+
+    # -- results ------------------------------------------------------------
+    def extra_stats(self) -> dict:
+        return {
+            "cb_full_stalls": float(sum(cb.full_stalls for cb in self.cbs)),
+            "cb_pushes": float(self.cbs[0].pushes),
+            "cb_drains": float(self.cbs[0].drains),
+            "recoveries": float(self.eih.recoveries_signalled),
+            "recovery_cycles": float(self.recovery_cycles_total),
+        }
+
+    def result(self):
+        res = super().result()
+        res.fault_events = list(self.fault_events)
+        return res
+
+
+def replace_line(line):
+    """Copy one cache line's metadata (used by the recovery L1 mirror)."""
+    from repro.mem.cache import Line
+    return Line(tag=line.tag, valid=line.valid, dirty=line.dirty,
+                last_use=line.last_use)

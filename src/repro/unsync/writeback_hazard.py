@@ -1,0 +1,143 @@
+"""Figure 2: why UnSync *requires* a write-through L1.
+
+The paper's argument (Sec III-C-1): with write-back L1s, an error
+detected on core A starts recovery, but the EIH signalling window is
+non-zero; if a second strike lands on a *dirty* line of core B (the clean
+core) before its state is copied, that line's only up-to-date copy in the
+whole system is now corrupt — the pair cannot recover. With write-through
+L1s every line has a valid copy in the ECC L2, so the same double-strike
+merely invalidates two cache lines.
+
+This module makes that argument executable twice over:
+
+* :func:`simulate_double_strike` — a discrete re-enactment of Figure 2's
+  timeline for one (first-strike, second-strike) pair, returning the
+  outcome class under either write policy;
+* :class:`HazardModel` — the closed-form exposure analysis: the
+  probability that a detected error becomes unrecoverable, as a function
+  of the EIH window, the strike rate, and dirty-line occupancy — plus a
+  Monte-Carlo estimator the tests cross-check against it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.events import Outcome
+from repro.mem.cache import WritePolicy
+from repro.unsync.eih import EIHConfig
+
+
+@dataclass(frozen=True)
+class DoubleStrikeScenario:
+    """Figure 2's cast of characters."""
+
+    #: cycle of the first (detected) strike on core A
+    first_strike_cycle: int = 100
+    #: cycle the second strike lands on core B (None = never)
+    second_strike_cycle: Optional[int] = None
+    #: does the second strike hit a *dirty* line of core B?
+    second_strike_on_dirty_line: bool = True
+    policy: WritePolicy = WritePolicy.WRITE_BACK
+    eih: EIHConfig = EIHConfig()
+
+    @property
+    def exposure_window(self) -> int:
+        """Cycles between the first strike and the pair being quiesced
+        with core B's state secured (Figure 2's t1..recovery interval)."""
+        return self.eih.signal_latency + self.eih.stall_latency
+
+
+def simulate_double_strike(scenario: DoubleStrikeScenario) -> Outcome:
+    """Re-enact Figure 2 and classify the outcome.
+
+    Write-through: always recoverable (the ECC L2 holds every line).
+    Write-back: unrecoverable iff the second strike hits a dirty line of
+    the clean core within the exposure window — its only valid copy is
+    gone before anyone reads it.
+    """
+    second = scenario.second_strike_cycle
+    window_end = scenario.first_strike_cycle + scenario.exposure_window
+    if second is None or not (scenario.first_strike_cycle <= second
+                              <= window_end):
+        return Outcome.DETECTED_RECOVERED
+    if scenario.policy is WritePolicy.WRITE_THROUGH:
+        # both lines invalidate; refills come from the ECC L2
+        return Outcome.DETECTED_RECOVERED
+    if not scenario.second_strike_on_dirty_line:
+        # clean line in a write-back cache still has an L2 copy
+        return Outcome.DETECTED_RECOVERED
+    return Outcome.DETECTED_UNRECOVERABLE
+
+
+@dataclass(frozen=True)
+class HazardModel:
+    """Closed-form exposure analysis of the Figure 2 hazard.
+
+    Parameters
+    ----------
+    strike_rate_per_cycle:
+        Per-core upset rate (strikes/cycle) over the whole inventory.
+    dirty_fraction_of_bits:
+        Fraction of a core's vulnerable bits that are dirty-L1-line data
+        at any instant (write-back only; 0 for write-through).
+    eih:
+        Signalling latencies; they define the exposure window.
+    """
+
+    strike_rate_per_cycle: float = 1e-6
+    dirty_fraction_of_bits: float = 0.3
+    eih: EIHConfig = EIHConfig()
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dirty_fraction_of_bits <= 1:
+            raise ValueError("dirty fraction must be in [0, 1]")
+        if self.strike_rate_per_cycle < 0:
+            raise ValueError("strike rate must be non-negative")
+
+    @property
+    def window_cycles(self) -> int:
+        return self.eih.signal_latency + self.eih.stall_latency
+
+    def p_unrecoverable_given_detection(self,
+                                        policy: WritePolicy) -> float:
+        """P[second strike on a dirty line of the clean core within the
+        window | a first strike was detected]."""
+        if policy is WritePolicy.WRITE_THROUGH:
+            return 0.0
+        lam = self.strike_rate_per_cycle * self.window_cycles
+        p_second = 1.0 - math.exp(-lam)
+        return p_second * self.dirty_fraction_of_bits
+
+    def unrecoverable_fit_scaling(self, policy: WritePolicy) -> float:
+        """Relative rate of unrecoverable events per detected error —
+        the figure of merit a designer would use to justify the
+        write-through requirement."""
+        return self.p_unrecoverable_given_detection(policy)
+
+    def monte_carlo(self, policy: WritePolicy, trials: int = 20_000,
+                    seed: int = 0) -> float:
+        """Empirical estimate of the same probability, by sampling
+        second-strike arrival times and dirty/clean placement."""
+        rng = random.Random(seed)
+        if self.strike_rate_per_cycle == 0:
+            return 0.0
+        bad = 0
+        for _ in range(trials):
+            gap = rng.expovariate(self.strike_rate_per_cycle)
+            if gap > self.window_cycles:
+                continue
+            on_dirty = rng.random() < self.dirty_fraction_of_bits
+            scenario = DoubleStrikeScenario(
+                first_strike_cycle=0,
+                second_strike_cycle=int(gap),
+                second_strike_on_dirty_line=on_dirty,
+                policy=policy,
+                eih=self.eih,
+            )
+            if simulate_double_strike(scenario) is Outcome.DETECTED_UNRECOVERABLE:
+                bad += 1
+        return bad / trials

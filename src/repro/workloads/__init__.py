@@ -1,0 +1,37 @@
+"""Workload substrate: synthetic SPEC2000 / MiBench stand-ins.
+
+The paper evaluates on SPEC2000 and MiBench binaries we cannot ship, so
+each named benchmark here is a *generated kernel* whose instruction-mix
+statistics are calibrated to what the paper reports or implies:
+
+* serializing-instruction fraction — the paper gives bzip2 2%, ammp 1.7%,
+  galgel 1% (Sec VI-B-1); others are small;
+* store density — drives CB pressure (Figure 6);
+* instruction-level parallelism — drives ROB occupancy sensitivity
+  (Figure 5: ammp and galgel "quickly saturate the ROB");
+* branchiness and working-set size — general pipeline realism.
+
+Figures 4-6 depend on exactly these statistics, so controlling them
+directly is what makes the reproduction apples-to-apples. The calibration
+table lives in :mod:`repro.workloads.profiles`; EXPERIMENTS.md records the
+paper-vs-built values.
+
+Hand-written algorithmic kernels (sort, checksum, dot product, ...) live
+in :mod:`repro.workloads.kernels` for tests and examples that want real
+programs rather than statistical clones.
+"""
+
+from repro.workloads.profiles import WorkloadProfile, ILP, PROFILES
+from repro.workloads.generator import generate, generated_program
+from repro.workloads.suites import (
+    SPEC2000, MIBENCH, ALL_BENCHMARKS, load_benchmark, benchmark_names,
+)
+from repro.workloads.kernels import KERNELS, load_kernel
+
+__all__ = [
+    "WorkloadProfile", "ILP", "PROFILES",
+    "generate", "generated_program",
+    "SPEC2000", "MIBENCH", "ALL_BENCHMARKS", "load_benchmark",
+    "benchmark_names",
+    "KERNELS", "load_kernel",
+]

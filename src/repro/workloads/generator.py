@@ -1,0 +1,187 @@
+"""Kernel generator: profile -> assembly -> Program.
+
+The generated kernel is one hot loop whose body realises the profile's
+instruction mix:
+
+* ALU slots update ``ilp``-many independent accumulator chains
+  round-robin — the knob that sets how much of the OoO window the kernel
+  can fill (Figure 5's sensitivity);
+* load/store slots walk a working-set array with a register-masked
+  wrap-around cursor, at immediate offsets spread over a 1 KB window
+  (spatial locality like a real stride-1..8 kernel);
+* branch slots hash an accumulator (or a loaded value, for the
+  unpredictable fraction) and conditionally skip one filler instruction;
+* serializing slots emit ``trap`` — the paper's Figure 4 driver.
+
+Generation is deterministic in ``profile.seed``. The returned program is
+self-checking in the weak sense that every accumulator is stored to the
+output area at the end, so two executions can be compared bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.profiles import WorkloadProfile
+
+#: register conventions inside generated kernels
+R_LOOP = 1        # iteration down-counter
+R_BASE = 2        # working-set base address
+R_CUR = 3         # cursor offset into the working set
+R_LOADED = 4      # most recent loaded value
+R_ADDR = 16       # base+cursor for this iteration
+R_TMP = 17        # branch-hash temporary
+R_MASK = 21       # working-set wrap mask
+ACC_FIRST = 8     # accumulators r8..r15
+
+#: spread of immediate offsets used by loads/stores within one iteration
+OFFSET_WINDOW = 1024
+
+
+def generate(profile: WorkloadProfile) -> str:
+    """Generate assembly text for ``profile``."""
+    rng = random.Random(profile.seed)
+    n_acc = profile.ilp.value
+    body = profile.body_size
+
+    # Loop overhead (cursor bump, counter, loop branch, per-branch-slot
+    # hash+skip, conditional-trap gate) dilutes the in-body mix; inflate
+    # the slot counts so the *dynamic* fractions land on the profile.
+    n_branch = max(0, round(body * profile.branch_pct * 1.2))
+    est_total = body + 5 + 2 * n_branch + 3
+    inflate = est_total / body
+    n_store = max(1, round(body * profile.store_pct * inflate))
+    n_load = max(1, round(body * profile.load_pct * inflate))
+
+    # Serializing slots: whole traps per iteration when the fraction is
+    # large enough, otherwise one trap every 2^k iterations behind a
+    # counter test (this is how sub-1-per-body fractions like galgel's 1%
+    # stay representable).
+    traps_per_iter = est_total * profile.serializing_pct
+    n_ser = int(traps_per_iter)
+    trap_gate_log2 = 0
+    remainder = traps_per_iter - n_ser
+    if remainder > 0.02:
+        trap_gate_log2 = min(12, max(1, round(math.log2(1.0 / remainder))))
+    n_alu = max(1, body - n_ser - n_store - n_load - n_branch)
+
+    burst_stores = round(n_store * profile.store_burst_frac)
+    slots: List[str] = (["ser"] * n_ser
+                        + ["store"] * (n_store - burst_stores)
+                        + ["load"] * n_load + ["branch"] * n_branch
+                        + ["alu"] * n_alu)
+    rng.shuffle(slots)
+    if burst_stores:
+        # one contiguous store run per iteration (see store_burst_frac)
+        where = rng.randrange(0, len(slots) + 1)
+        slots[where:where] = ["store"] * burst_stores
+
+    ws_bytes = profile.working_set_kb * 1024
+    # wrap mask needs a power-of-two working set
+    if ws_bytes & (ws_bytes - 1):
+        ws_bytes = 1 << (ws_bytes.bit_length() - 1)
+    # the cursor must wrap within the run, or the kernel degenerates into
+    # a cold stream and the working-set knob stops meaning anything: the
+    # hot region is min(ws, what the iterations can cover twice).
+    offset_window = min(OFFSET_WINDOW, ws_bytes // 4)
+    stride = 64
+    coverage = profile.iterations * stride // 2
+    wrap_bytes = ws_bytes
+    while wrap_bytes > max(2 * offset_window, 512) and wrap_bytes > coverage:
+        wrap_bytes //= 2
+    # cursor is a multiple of the stride and wrap_bytes is a power of two,
+    # so AND with (wrap_bytes - 1) is an exact modulo
+    mask = wrap_bytes - 1
+
+    lines = [
+        f"# generated kernel: {profile.name} ({profile.suite})",
+        "main:",
+        f"    li r{R_LOOP}, {profile.iterations}",
+        f"    la r{R_BASE}, ws",
+        f"    li r{R_CUR}, 0",
+        f"    li r{R_MASK}, {mask}",
+    ]
+    for i in range(n_acc):
+        lines.append(f"    li r{ACC_FIRST + i}, {rng.randrange(1, 1 << 16)}")
+    lines.append("loop:")
+    lines.append(f"    add r{R_ADDR}, r{R_BASE}, r{R_CUR}")
+
+    acc_rr = 0          # accumulator round-robin pointer
+    branch_id = 0
+    use_loaded_next = False
+    for slot in slots:
+        acc = ACC_FIRST + (acc_rr % n_acc)
+        if slot == "alu":
+            op = rng.choices(["add", "xor", "sub", "mul", "slli"],
+                             weights=[5, 3, 2, 1, 1])[0]
+            if use_loaded_next:
+                src = R_LOADED
+                use_loaded_next = False
+            else:
+                src = ACC_FIRST + ((acc_rr + 1) % n_acc)
+            if op == "slli":
+                lines.append(f"    slli r{acc}, r{acc}, {rng.randrange(1, 5)}")
+            else:
+                lines.append(f"    {op} r{acc}, r{acc}, r{src}")
+            acc_rr += 1
+        elif slot == "load":
+            off = rng.randrange(0, offset_window, 4)
+            lines.append(f"    lw r{R_LOADED}, {off}(r{R_ADDR})")
+            use_loaded_next = True
+        elif slot == "store":
+            off = rng.randrange(0, offset_window, 4)
+            lines.append(f"    sw r{acc}, {off}(r{R_ADDR})")
+            acc_rr += 1
+        elif slot == "branch":
+            label = f"bskip_{profile.name}_{branch_id}"
+            branch_id += 1
+            if rng.random() < profile.unpredictable_branch_frac:
+                # data-dependent: hash the last loaded value
+                lines.append(f"    andi r{R_TMP}, r{R_LOADED}, 1")
+            else:
+                # loop-invariant: learned perfectly by the predictor
+                lines.append(f"    andi r{R_TMP}, r{R_LOOP}, 0")
+            lines.append(f"    beq r{R_TMP}, r0, {label}")
+            lines.append(f"    addi r{acc}, r{acc}, 1")
+            lines.append(f"{label}:")
+            acc_rr += 1
+        elif slot == "ser":
+            lines.append("    trap")
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(slot)
+
+    if trap_gate_log2:
+        gate_mask = (1 << trap_gate_log2) - 1
+        lines += [
+            f"    andi r{R_TMP}, r{R_LOOP}, {gate_mask}",
+            f"    bne r{R_TMP}, r0, no_trap_{profile.name}",
+            "    trap",
+            f"no_trap_{profile.name}:",
+        ]
+    stride = 64
+    lines += [
+        f"    addi r{R_CUR}, r{R_CUR}, {stride}",
+        f"    and r{R_CUR}, r{R_CUR}, r{R_MASK}",
+        f"    addi r{R_LOOP}, r{R_LOOP}, -1",
+        f"    bne r{R_LOOP}, r0, loop",
+    ]
+    # spill the accumulators so runs are comparable
+    lines.append("    la r16, out")
+    for i in range(n_acc):
+        lines.append(f"    sw r{ACC_FIRST + i}, {4 * i}(r16)")
+    lines += [
+        "    halt",
+        ".data",
+        "out: .space 64",
+        f"ws: .space {ws_bytes + offset_window + 64}",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def generated_program(profile: WorkloadProfile) -> Program:
+    """Assemble the kernel for ``profile``."""
+    return assemble(generate(profile), name=profile.name)

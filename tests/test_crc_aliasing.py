@@ -1,0 +1,94 @@
+"""CRC-16 aliasing: the quantitative gap between fingerprint comparison
+and direct detection.
+
+A 16-bit fingerprint maps a corrupted stream to the *same* value with
+probability ~2^-16 — Reunion's irreducible silent-corruption floor, and
+one of the paper's reliability arguments for UnSync's direct per-block
+detection (which has no comparison to alias). These tests measure the
+aliasing rate empirically and pin the structural properties around it.
+"""
+
+import random
+
+import pytest
+
+from repro.reunion.fingerprint import CRC16_INIT, FingerprintGenerator, crc16
+
+
+def _random_stream(rng, n):
+    return [(rng.randrange(0, 1 << 32), rng.randrange(0, 1 << 32))
+            for _ in range(n)]
+
+
+def _fingerprint(stream):
+    g = FingerprintGenerator()
+    for pc, result in stream:
+        g.add(pc, result)
+    return g.value
+
+
+def test_single_instruction_corruption_never_aliases_within_burst():
+    """Flipping one bit of one 32-bit result always changes the CRC:
+    CRC-16-CCITT detects all single-bit errors by construction."""
+    rng = random.Random(1)
+    for _ in range(300):
+        stream = _random_stream(rng, 10)
+        base = _fingerprint(stream)
+        i = rng.randrange(len(stream))
+        bit = rng.randrange(32)
+        pc, result = stream[i]
+        corrupted = list(stream)
+        corrupted[i] = (pc, result ^ (1 << bit))
+        assert _fingerprint(corrupted) != base
+
+
+def test_two_bit_bursts_within_16_never_alias():
+    """CRC-16 detects all burst errors of length <= 16."""
+    rng = random.Random(2)
+    for _ in range(300):
+        stream = _random_stream(rng, 6)
+        base = _fingerprint(stream)
+        i = rng.randrange(len(stream))
+        pc, result = stream[i]
+        start = rng.randrange(0, 32 - 15)
+        span = rng.randrange(1, 16)
+        mask = (1 << start) | (1 << (start + span))
+        corrupted = list(stream)
+        corrupted[i] = (pc, result ^ mask)
+        assert _fingerprint(corrupted) != base
+
+
+def test_random_corruption_aliases_at_two_to_minus_16():
+    """Arbitrary multi-word corruption aliases at ~2^-16 — measured.
+
+    50k trials of fully random replacement streams: expected aliases
+    ~0.76; assert the rate is within a loose Poisson band (0..8 events),
+    i.e. the same order of magnitude as 2^-16 and nowhere near zero-risk
+    claims or 2^-8-like weakness.
+    """
+    rng = random.Random(3)
+    trials = 50_000
+    aliases = 0
+    for _ in range(trials):
+        a = _random_stream(rng, 4)
+        b = _random_stream(rng, 4)  # an arbitrarily different stream
+        if _fingerprint(a) == _fingerprint(b):
+            aliases += 1
+    # P[alias] = 2^-16 per trial -> mean 0.76, P[>8] < 1e-8
+    assert aliases <= 8
+
+
+def test_crc_values_uniformly_distributed():
+    """Fingerprints of random streams spread over the 16-bit space (chi
+    cheap proxy: many distinct values, no single dominant bucket)."""
+    rng = random.Random(4)
+    values = [_fingerprint(_random_stream(rng, 3)) for _ in range(4000)]
+    distinct = len(set(values))
+    assert distinct > 3700  # birthday-level collisions only
+    # no value occurs implausibly often
+    from collections import Counter
+    assert Counter(values).most_common(1)[0][1] <= 5
+
+
+def test_empty_fingerprint_is_init():
+    assert FingerprintGenerator().value == CRC16_INIT

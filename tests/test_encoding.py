@@ -1,0 +1,102 @@
+"""Unit + property tests for the 32-bit binary encoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import (
+    EncodingError, OPCODE_ORDER, decode, encode, roundtrips,
+)
+from repro.isa.instructions import Instruction, Opcode
+
+
+def test_opcode_numbering_is_stable():
+    # the binary format is defined by this order — changing it breaks
+    # any recorded encodings, so pin the first and last entries
+    assert OPCODE_ORDER[0] is Opcode.ADD
+    assert OPCODE_ORDER[-1] is Opcode.HALT
+    assert len(OPCODE_ORDER) == len(set(OPCODE_ORDER)) == len(Opcode)
+
+
+def test_simple_roundtrip():
+    i = Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2)
+    assert decode(encode(i)) == Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2)
+
+
+def test_imm_roundtrip_negative():
+    i = Instruction(Opcode.ADDI, rd=1, rs1=2, imm=-7)
+    assert decode(encode(i)).imm == -7
+
+
+def test_branch_roundtrip():
+    i = Instruction(Opcode.BNE, rs1=4, rs2=9, imm=123)
+    back = decode(encode(i))
+    assert (back.op, back.rs1, back.rs2, back.imm) == (Opcode.BNE, 4, 9, 123)
+
+
+def test_mem_roundtrip():
+    i = Instruction(Opcode.SW, rd=7, rs1=2, imm=64)
+    back = decode(encode(i))
+    assert (back.op, back.rd, back.rs1, back.imm) == (Opcode.SW, 7, 2, 64)
+
+
+def test_jump_roundtrip():
+    assert decode(encode(Instruction(Opcode.J, imm=500))).imm == 500
+
+
+def test_jal_keeps_rd():
+    back = decode(encode(Instruction(Opcode.JAL, rd=31, imm=12)))
+    assert (back.rd, back.imm) == (31, 12)
+
+
+def test_decode_invalid_opcode_returns_none():
+    assert decode(0x3F << 26) is None  # opcode number 63 unused
+
+
+def test_oversize_immediate_raises():
+    with pytest.raises(EncodingError):
+        encode(Instruction(Opcode.ADDI, rd=1, rs1=1, imm=1 << 20))
+
+
+def test_bitflip_in_opcode_field_changes_instruction():
+    word = encode(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+    flipped = word ^ (1 << 26)
+    other = decode(flipped)
+    assert other is None or other.op is not Opcode.ADD
+
+
+def test_bitflip_in_reg_field():
+    word = encode(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+    other = decode(word ^ (1 << 21))  # lowest rd bit
+    assert other.rd == 0  # rd 1 -> 0
+
+
+# ---------------------------------------------------------------------------
+# property-based roundtrips
+# ---------------------------------------------------------------------------
+regs = st.integers(min_value=0, max_value=31)
+
+
+@given(rd=regs, rs1=regs, rs2=regs)
+def test_r3_roundtrip_property(rd, rs1, rs2):
+    for op in (Opcode.ADD, Opcode.XOR, Opcode.MUL, Opcode.SLT):
+        i = Instruction(op, rd=rd, rs1=rs1, rs2=rs2)
+        assert roundtrips(i)
+        back = decode(encode(i))
+        assert (back.rd, back.rs1, back.rs2) == (rd, rs1, rs2)
+
+
+@given(rd=regs, rs1=regs, imm=st.integers(min_value=-0x8000, max_value=0x7FFF))
+def test_imm_roundtrip_property(rd, rs1, imm):
+    for op in (Opcode.ADDI, Opcode.LW, Opcode.SW):
+        i = Instruction(op, rd=rd, rs1=rs1, imm=imm)
+        back = decode(encode(i))
+        assert back.op is op
+        assert back.imm == imm
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_decode_never_crashes(word):
+    # any 32-bit pattern (e.g. after a particle strike) must decode to an
+    # instruction or None — never raise
+    result = decode(word)
+    assert result is None or isinstance(result, Instruction)

@@ -1,0 +1,67 @@
+"""Tests for the Sec VIII hardened-detector variants."""
+
+import pytest
+
+from repro.faults.detection import DMRDetector, ParityDetector
+from repro.faults.hardened import (
+    DECTEDDetector, ECCRegfileDetector, TMRLatchDetector,
+    hardened_unsync_detectors, multi_bit_coverage,
+)
+from repro.faults.injector import BlockInventory, UNSYNC_DETECTORS
+
+
+def test_dected_corrects_two_bits():
+    d = DECTEDDetector()
+    assert d.check(1).corrected
+    assert d.check(2).corrected
+    three = d.check(3)
+    assert three.detected and not three.corrected
+    assert not d.check(4).detected
+
+
+def test_tmr_latch_corrects_in_place():
+    t = TMRLatchDetector()
+    r = t.check(1)
+    assert r.detected and r.corrected and r.latency_cycles == 0
+
+
+def test_ecc_regfile_like_secded():
+    e = ECCRegfileDetector()
+    assert e.check(1).corrected
+    assert e.check(2).detected and not e.check(2).corrected
+
+
+def test_hardened_map_upgrades_named_blocks():
+    det = hardened_unsync_detectors()
+    assert isinstance(det["l1d_data"], DECTEDDetector)
+    assert isinstance(det["pipeline_regs"], TMRLatchDetector)
+    assert isinstance(det["regfile"], ECCRegfileDetector)
+    # untouched blocks keep their original parity protection
+    assert isinstance(det["lsq"], ParityDetector)
+
+
+def test_hardened_map_does_not_mutate_baseline():
+    before = dict(UNSYNC_DETECTORS)
+    hardened_unsync_detectors()
+    assert UNSYNC_DETECTORS == before
+
+
+def test_hardened_improves_double_bit_coverage():
+    inv = BlockInventory()
+    base = inv.coverage(UNSYNC_DETECTORS, flipped_bits=2)
+    hard = inv.coverage(hardened_unsync_detectors(), flipped_bits=2)
+    # baseline parity is blind to even-weight upsets; DECTED L1s fix the
+    # dominant blocks
+    assert hard > 0.9 > base
+
+
+def test_multi_bit_coverage_table():
+    table = multi_bit_coverage(hardened_unsync_detectors(), flipped_bits=2)
+    assert table["l1d_data"] is True      # DECTED corrects
+    assert table["lsq"] is False          # parity blind to 2 bits
+    assert table["pipeline_regs"] is True # TMR latch
+
+
+def test_hardened_costs_more():
+    assert TMRLatchDetector.power_overhead > DMRDetector.power_overhead
+    assert DECTEDDetector.area_overhead > 0.22  # beyond SECDED

@@ -1,0 +1,125 @@
+"""Tests for the experiment harness (runner, experiments, report)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    break_even_analysis, fig4_serializing, fig5_fi_latency, fig6_cb_size,
+    roec_coverage, ser_sweep,
+)
+from repro.harness.report import format_table, pct
+from repro.harness.runner import (
+    baseline_run, compare_schemes, run_scheme,
+)
+from repro.isa import golden
+from repro.workloads import load_benchmark
+
+
+# ---------------------------------------------------------------------------
+# runner
+# ---------------------------------------------------------------------------
+def test_run_scheme_all_three(sum_loop):
+    gold = golden.run(sum_loop)
+    for scheme in ("baseline", "unsync", "reunion"):
+        res = run_scheme(scheme, sum_loop)
+        assert res.scheme == scheme
+        assert res.instructions == gold.instructions
+        assert res.state.mem == gold.state.mem
+
+
+def test_run_scheme_unknown(sum_loop):
+    with pytest.raises(ValueError):
+        run_scheme("tmr", sum_loop)
+
+
+def test_baseline_run_cached(sum_loop):
+    assert baseline_run(sum_loop) is baseline_run(sum_loop)
+
+
+def test_compare_schemes_metrics(sum_loop):
+    cmp = compare_schemes(sum_loop)
+    assert cmp.baseline.cycles <= cmp.unsync.cycles * 1.5
+    assert cmp.reunion_overhead >= 0
+    # overhead metrics are mutually consistent
+    assert cmp.unsync_overhead == pytest.approx(
+        cmp.unsync.cycles / cmp.baseline.cycles - 1)
+
+
+def test_overhead_vs_rejects_mismatched_runs(sum_loop, trap_loop):
+    a = run_scheme("baseline", sum_loop)
+    b = run_scheme("baseline", trap_loop)
+    with pytest.raises(ValueError):
+        a.overhead_vs(b)
+
+
+# ---------------------------------------------------------------------------
+# experiments (smallest possible instances for speed)
+# ---------------------------------------------------------------------------
+def test_fig4_rows_shape():
+    rows = fig4_serializing(benchmarks=("sha", "bzip2"))
+    assert [r.benchmark for r in rows] == ["sha", "bzip2"]
+    for r in rows:
+        assert 0 <= r.serializing_pct < 0.05
+        assert r.unsync_overhead < r.reunion_overhead
+
+
+def test_fig4_serializing_hurts_reunion_more():
+    rows = fig4_serializing(benchmarks=("sha", "bzip2"))
+    by_name = {r.benchmark: r for r in rows}
+    # bzip2 (2% serializing) suffers more under Reunion than sha (0.1%)
+    assert by_name["bzip2"].reunion_overhead > by_name["sha"].reunion_overhead
+
+
+def test_fig5_monotone_degradation():
+    pts = fig5_fi_latency(benchmarks=("galgel",),
+                          grid=((1, 10), (30, 40)))
+    small, big = pts
+    assert big.performance_decrease > small.performance_decrease
+    assert big.rob_mean_occupancy >= small.rob_mean_occupancy
+
+
+def test_fig6_more_cb_is_never_worse():
+    pts = fig6_cb_size(benchmarks=("susan",), sizes_kb=(0.125, 2.0))
+    small, big = pts
+    assert big.ipc_normalized >= small.ipc_normalized - 0.01
+    assert big.cb_full_stalls <= small.cb_full_stalls
+
+
+def test_ser_sweep_flat():
+    pts = ser_sweep(benchmark="sha", rates=(1e-7, 1e-17))
+    assert pts[0].unsync_ipc == pytest.approx(pts[1].unsync_ipc, rel=1e-6)
+    assert pts[0].reunion_ipc == pytest.approx(pts[1].reunion_ipc, rel=1e-6)
+
+
+def test_break_even_ordering():
+    be = break_even_analysis(benchmark="sha")
+    # cheap recovery -> higher tolerable SER
+    assert be.break_even_ser_invalidate > be.break_even_ser_copy
+    # both are astronomically above real SERs (the paper's conclusion)
+    assert be.break_even_ser_invalidate > 1e-7
+
+
+def test_roec_rows():
+    rows = roec_coverage()
+    by_key = {(r.architecture, r.accounting): r for r in rows}
+    assert by_key[("unsync", "scheme")].coverage == pytest.approx(1.0)
+    assert by_key[("reunion", "scheme")].coverage < 0.1
+    assert (by_key[("unsync", "system")].coverage
+            > by_key[("reunion", "system")].coverage)
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+def test_format_table_alignment():
+    out = format_table(["a", "long_header"], [["xx", 1], ["y", 22]],
+                       title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "long_header" in lines[1]
+    widths = {len(l) for l in lines[1:]}
+    assert len(widths) == 1  # all rows padded to same width
+
+
+def test_pct_format():
+    assert pct(0.0745) == "+7.4%"
+    assert pct(-0.02) == "-2.0%"

@@ -1,0 +1,74 @@
+"""Tests for the markdown report generator and the new CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness.markdown import (
+    SECTIONS, md_table, measured_report, section_table2, section_table3,
+)
+
+
+def test_md_table_shape():
+    out = md_table(["a", "b"], [[1, 2], [3, 4]])
+    lines = out.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2 |"
+    assert len(lines) == 4
+
+
+def test_section_table2_contains_paper_numbers():
+    text = section_table2()
+    assert "20.77" in text and "7.4" in text
+
+
+def test_section_table3_contains_differences():
+    text = section_table3()
+    assert "26.68" in text or "26.6" in text
+
+
+def test_measured_report_quick_sections():
+    text = measured_report(["table2", "table3", "roec"])
+    assert text.startswith("# Measured results")
+    assert "## Table II" in text
+    assert "## Table III" in text
+    assert "## Sec VI-D" in text
+
+
+def test_unknown_section_rejected():
+    with pytest.raises(ValueError, match="unknown section"):
+        measured_report(["fig99"])
+
+
+def test_all_registered_sections_callable():
+    assert set(SECTIONS) == {"table2", "table3", "fig4", "roec"}
+
+
+def test_cli_report_to_file(tmp_path, capsys):
+    out = tmp_path / "m.md"
+    rc = main(["report", "--sections", "table3", "--out", str(out)])
+    assert rc == 0
+    assert "## Table III" in out.read_text()
+
+
+def test_cli_report_stdout(capsys):
+    rc = main(["report", "--sections", "roec"])
+    assert rc == 0
+    assert "region of error coverage" in capsys.readouterr().out
+
+
+def test_cli_sweep(capsys):
+    rc = main(["sweep", "fibonacci", "rob_entries", "16", "80",
+               "--schemes", "baseline"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "elasticity[baseline]" in out
+    assert "IPC vs rob_entries" in out
+
+
+def test_cli_trace(capsys):
+    rc = main(["trace", "fibonacci", "--count", "8"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "mean completed-to-retire wait" in out
+    assert "R" in out

@@ -1,0 +1,77 @@
+"""Tests for the multi-pair (4-core Table I) configuration."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.isa import golden
+from repro.redundancy.multipair import (
+    MultiPairSystem, PAIR_ADDR_STRIDE,
+)
+from repro.unsync.system import UnSyncSystem
+from repro.workloads import load_benchmark, load_kernel
+
+
+def test_two_unsync_pairs_both_correct():
+    progs = [load_kernel("checksum"), load_kernel("dot_product")]
+    res = MultiPairSystem(progs).run()
+    for r, p in zip(res.pair_results, progs):
+        gold = golden.run(p)
+        assert r.state.regs == gold.state.regs, p.name
+        assert r.state.mem == gold.state.mem, p.name
+        assert r.instructions == gold.instructions
+
+
+def test_mixed_schemes():
+    progs = [load_kernel("checksum"), load_kernel("fibonacci")]
+    res = MultiPairSystem(progs, schemes=("unsync", "reunion")).run()
+    assert res.pair_results[0].scheme == "unsync"
+    assert res.pair_results[1].scheme == "reunion"
+    for r, p in zip(res.pair_results, progs):
+        assert r.state.mem == golden.run(p).state.mem
+
+
+def test_pairs_share_uncore():
+    progs = [load_kernel("checksum"), load_kernel("checksum")]
+    mp = MultiPairSystem(progs)
+    assert mp.pairs[0].bus is mp.pairs[1].bus
+    assert mp.pairs[0].l2 is mp.pairs[1].l2
+    assert mp.pairs[1].addr_offset == PAIR_ADDR_STRIDE
+
+
+def test_sharing_costs_cycles():
+    """A pair sharing the uncore with another pair must be no faster than
+    running alone, and the shared bus must be busier."""
+    prog = load_benchmark("sha")
+    solo = UnSyncSystem(prog).run()
+    mp = MultiPairSystem([prog, load_benchmark("gzip")])
+    shared = mp.run()
+    assert shared.pair_results[0].cycles >= solo.cycles
+    assert shared.bus_busy_cycles > 0
+
+
+def test_aggregate_throughput_counts_all_pairs():
+    progs = [load_kernel("fibonacci"), load_kernel("fibonacci")]
+    res = MultiPairSystem(progs).run()
+    per_pair = sum(r.instructions for r in res.pair_results)
+    assert res.aggregate_throughput == pytest.approx(
+        per_pair / res.total_cycles)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MultiPairSystem([])
+    prog = load_kernel("fibonacci")
+    with pytest.raises(ValueError):
+        MultiPairSystem([prog], schemes=("unsync", "reunion"))
+    with pytest.raises(ValueError):
+        MultiPairSystem([prog], schemes=("tmr3",))
+
+
+def test_four_pairs_run():
+    """Scale past Table I's 4 cores: 8 cores / 4 pairs on one L2."""
+    progs = [load_kernel("fibonacci") for _ in range(4)]
+    res = MultiPairSystem(progs).run()
+    assert len(res.pair_results) == 4
+    gold = golden.run(progs[0])
+    for r in res.pair_results:
+        assert r.state.regs == gold.state.regs

@@ -1,0 +1,51 @@
+"""Tests for the parallel sweep runner."""
+
+import pytest
+
+from repro.harness.parallel import JobSpec, run_grid
+
+
+def small_jobs():
+    return [JobSpec(scheme=s, benchmark="sha")
+            for s in ("baseline", "unsync", "reunion")]
+
+
+def test_empty_grid():
+    assert run_grid([]) == []
+
+
+def test_serial_grid_runs_all():
+    results = run_grid(small_jobs(), workers=1)
+    assert len(results) == 3
+    assert [r.spec.scheme for r in results] == ["baseline", "unsync",
+                                                "reunion"]
+    for r in results:
+        assert r.cycles > 0 and r.instructions > 0
+
+
+def test_parallel_matches_serial():
+    jobs = small_jobs()
+    serial = run_grid(jobs, workers=1)
+    parallel = run_grid(jobs, workers=3)
+    assert [(r.spec.key(), r.cycles, r.instructions) for r in serial] == \
+        [(r.spec.key(), r.cycles, r.instructions) for r in parallel]
+
+
+def test_parameterized_jobs():
+    jobs = [JobSpec(scheme="reunion", benchmark="sha",
+                    fingerprint_interval=30, comparison_latency=40),
+            JobSpec(scheme="reunion", benchmark="sha")]
+    slow, fast = run_grid(jobs, workers=1)
+    assert slow.cycles > fast.cycles  # FI=30/lat=40 is the Fig 5 cliff
+
+
+def test_cb_entries_job():
+    jobs = [JobSpec(scheme="unsync", benchmark="bzip2", cb_entries=4),
+            JobSpec(scheme="unsync", benchmark="bzip2", cb_entries=256)]
+    tiny, big = run_grid(jobs, workers=1)
+    assert tiny.extra["cb_full_stalls"] > big.extra["cb_full_stalls"]
+
+
+def test_bad_benchmark_raises():
+    with pytest.raises(KeyError):
+        run_grid([JobSpec(scheme="baseline", benchmark="nope")], workers=1)

@@ -1,0 +1,119 @@
+"""Tests for the Figure 2 write-back hazard analysis."""
+
+import pytest
+
+from repro.faults.events import Outcome
+from repro.mem.cache import WritePolicy
+from repro.unsync.eih import EIHConfig
+from repro.unsync.writeback_hazard import (
+    DoubleStrikeScenario, HazardModel, simulate_double_strike,
+)
+
+
+def scenario(**kw):
+    defaults = dict(first_strike_cycle=100, second_strike_cycle=102,
+                    second_strike_on_dirty_line=True,
+                    policy=WritePolicy.WRITE_BACK,
+                    eih=EIHConfig(signal_latency=2, stall_latency=3))
+    defaults.update(kw)
+    return DoubleStrikeScenario(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# the discrete Figure 2 re-enactment
+# ---------------------------------------------------------------------------
+def test_write_back_dirty_double_strike_is_unrecoverable():
+    assert simulate_double_strike(scenario()) is Outcome.DETECTED_UNRECOVERABLE
+
+
+def test_write_through_same_timeline_recovers():
+    s = scenario(policy=WritePolicy.WRITE_THROUGH)
+    assert simulate_double_strike(s) is Outcome.DETECTED_RECOVERED
+
+
+def test_clean_line_strike_recovers_even_write_back():
+    s = scenario(second_strike_on_dirty_line=False)
+    assert simulate_double_strike(s) is Outcome.DETECTED_RECOVERED
+
+
+def test_second_strike_after_window_recovers():
+    # window = 2 + 3 = 5 cycles; strike at 106 is outside [100, 105]
+    s = scenario(second_strike_cycle=106)
+    assert simulate_double_strike(s) is Outcome.DETECTED_RECOVERED
+
+
+def test_second_strike_at_window_edge_is_unrecoverable():
+    s = scenario(second_strike_cycle=105)
+    assert simulate_double_strike(s) is Outcome.DETECTED_UNRECOVERABLE
+
+
+def test_no_second_strike_recovers():
+    s = scenario(second_strike_cycle=None)
+    assert simulate_double_strike(s) is Outcome.DETECTED_RECOVERED
+
+
+def test_exposure_window_is_eih_latency_sum():
+    s = scenario(eih=EIHConfig(signal_latency=7, stall_latency=4))
+    assert s.exposure_window == 11
+
+
+# ---------------------------------------------------------------------------
+# the closed-form hazard model
+# ---------------------------------------------------------------------------
+def test_write_through_hazard_is_zero():
+    m = HazardModel(strike_rate_per_cycle=1e-3)
+    assert m.p_unrecoverable_given_detection(WritePolicy.WRITE_THROUGH) == 0.0
+
+
+def test_write_back_hazard_positive():
+    m = HazardModel(strike_rate_per_cycle=1e-3, dirty_fraction_of_bits=0.5)
+    p = m.p_unrecoverable_given_detection(WritePolicy.WRITE_BACK)
+    assert 0 < p < 1
+
+
+def test_hazard_grows_with_window():
+    short = HazardModel(strike_rate_per_cycle=1e-3,
+                        eih=EIHConfig(signal_latency=1, stall_latency=1))
+    long = HazardModel(strike_rate_per_cycle=1e-3,
+                       eih=EIHConfig(signal_latency=20, stall_latency=20))
+    assert (long.p_unrecoverable_given_detection(WritePolicy.WRITE_BACK)
+            > short.p_unrecoverable_given_detection(WritePolicy.WRITE_BACK))
+
+
+def test_hazard_grows_with_dirty_fraction():
+    lo = HazardModel(strike_rate_per_cycle=1e-3, dirty_fraction_of_bits=0.1)
+    hi = HazardModel(strike_rate_per_cycle=1e-3, dirty_fraction_of_bits=0.9)
+    assert (hi.p_unrecoverable_given_detection(WritePolicy.WRITE_BACK)
+            > lo.p_unrecoverable_given_detection(WritePolicy.WRITE_BACK))
+
+
+def test_hazard_linear_in_rate_at_small_rates():
+    a = HazardModel(strike_rate_per_cycle=1e-9)
+    b = HazardModel(strike_rate_per_cycle=2e-9)
+    pa = a.p_unrecoverable_given_detection(WritePolicy.WRITE_BACK)
+    pb = b.p_unrecoverable_given_detection(WritePolicy.WRITE_BACK)
+    assert pb == pytest.approx(2 * pa, rel=1e-3)
+
+
+def test_monte_carlo_matches_closed_form():
+    m = HazardModel(strike_rate_per_cycle=0.05, dirty_fraction_of_bits=0.4)
+    analytic = m.p_unrecoverable_given_detection(WritePolicy.WRITE_BACK)
+    empirical = m.monte_carlo(WritePolicy.WRITE_BACK, trials=40_000, seed=3)
+    assert empirical == pytest.approx(analytic, rel=0.15)
+
+
+def test_monte_carlo_write_through_is_zero():
+    m = HazardModel(strike_rate_per_cycle=0.05)
+    assert m.monte_carlo(WritePolicy.WRITE_THROUGH, trials=5_000) == 0.0
+
+
+def test_monte_carlo_zero_rate():
+    m = HazardModel(strike_rate_per_cycle=0.0)
+    assert m.monte_carlo(WritePolicy.WRITE_BACK, trials=100) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HazardModel(dirty_fraction_of_bits=1.5)
+    with pytest.raises(ValueError):
+        HazardModel(strike_rate_per_cycle=-1)
