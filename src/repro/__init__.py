@@ -22,6 +22,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.hwcost` — synthesis/CACTI substitute (Tables II, III)
 * :mod:`repro.workloads` — synthetic SPEC2000/MiBench suite
 * :mod:`repro.harness` — one experiment driver per table/figure
+* :mod:`repro.campaign` — resumable Monte Carlo fault-injection campaigns
 """
 
 __version__ = "0.1.0"
@@ -33,8 +34,10 @@ from repro.redundancy import BaselineSystem, RunResult
 from repro.unsync import UnSyncSystem, UnSyncConfig
 from repro.reunion import ReunionSystem, ReunionParams
 from repro.faults import FaultInjector, SERModel
-from repro.workloads import load_benchmark, load_kernel, benchmark_names
+from repro.workloads import load_benchmark, load_kernel, load_workload, \
+    benchmark_names
 from repro.harness import compare_schemes, run_scheme
+from repro.campaign import CampaignSpec, run_campaign, summarize_store
 
 __all__ = [
     "__version__",
@@ -44,6 +47,7 @@ __all__ = [
     "UnSyncSystem", "UnSyncConfig",
     "ReunionSystem", "ReunionParams",
     "FaultInjector", "SERModel",
-    "load_benchmark", "load_kernel", "benchmark_names",
+    "load_benchmark", "load_kernel", "load_workload", "benchmark_names",
     "compare_schemes", "run_scheme",
+    "CampaignSpec", "run_campaign", "summarize_store",
 ]

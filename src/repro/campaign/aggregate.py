@@ -1,0 +1,134 @@
+"""Streaming per-cell aggregation of campaign outcomes.
+
+Aggregates are pure integer accumulators (trial counts, strike counts,
+cycle sums), so adding results in any order yields bit-identical state —
+the property the resume and serial-vs-parallel determinism tests pin.
+Proportions are reported with Wilson confidence intervals from
+:mod:`repro.harness.statistics`, which also drive the engine's optional
+sequential early stopping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.trial import TrialResult
+from repro.harness.statistics import Interval, wilson_interval
+
+
+def _interval_dict(iv: Interval) -> Dict[str, float]:
+    return {"estimate": iv.estimate, "low": iv.low, "high": iv.high}
+
+
+@dataclass
+class CellAggregate:
+    """Running totals for one (scheme, workload, SER) cell."""
+
+    cell: str
+    trials: int = 0
+    strikes: int = 0
+    cycles: int = 0
+    instructions: int = 0
+    recovery_cycles: int = 0
+    #: trials that suffered >=1 silent data corruption
+    sdc_trials: int = 0
+    #: trials with >=1 detected-but-unrecoverable event
+    due_trials: int = 0
+    #: trials with >=1 successful detect-and-recover
+    recovered_trials: int = 0
+    #: trials whose run saw no strike at all
+    clean_trials: int = 0
+    #: raw event counts per Outcome.value
+    events: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, result: TrialResult) -> None:
+        self.trials += 1
+        self.strikes += result.strikes
+        self.cycles += result.cycles
+        self.instructions += result.instructions
+        self.recovery_cycles += result.recovery_cycles
+        self.sdc_trials += 1 if result.suffered_sdc else 0
+        self.due_trials += 1 if result.suffered_due else 0
+        self.recovered_trials += 1 if result.recovered else 0
+        self.clean_trials += 1 if result.strikes == 0 else 0
+        for key, count in result.outcomes.items():
+            self.events[key] = self.events.get(key, 0) + count
+
+    # -- proportions --------------------------------------------------------
+    def proportion(self, successes: int,
+                   confidence: float = 0.95) -> Interval:
+        return wilson_interval(successes, self.trials, confidence=confidence)
+
+    @property
+    def sdc_interval(self) -> Interval:
+        return self.proportion(self.sdc_trials)
+
+    @property
+    def due_interval(self) -> Interval:
+        return self.proportion(self.due_trials)
+
+    @property
+    def recovered_interval(self) -> Interval:
+        return self.proportion(self.recovered_trials)
+
+    def ci_met(self, halfwidth: Optional[float]) -> bool:
+        """Sequential early-stop test on the SDC proportion's CI."""
+        if halfwidth is None or self.trials == 0:
+            return False
+        return self.sdc_interval.width / 2 <= halfwidth
+
+    def summary(self) -> Dict:
+        mean = lambda total: total / self.trials if self.trials else 0.0
+        return {
+            "trials": self.trials,
+            "strikes": self.strikes,
+            "clean_trials": self.clean_trials,
+            "events": dict(sorted(self.events.items())),
+            "p_sdc": _interval_dict(self.sdc_interval),
+            "p_due": _interval_dict(self.due_interval),
+            "p_recovered": _interval_dict(self.recovered_interval),
+            "mean_cycles": mean(self.cycles),
+            "mean_recovery_cycles": mean(self.recovery_cycles),
+            "ipc": (self.instructions / self.cycles if self.cycles else 0.0),
+        }
+
+
+class Aggregator:
+    """All cells of a campaign, streamed."""
+
+    def __init__(self) -> None:
+        self.cells: Dict[str, CellAggregate] = {}
+
+    def add(self, result: TrialResult) -> None:
+        cell = result.cell
+        if cell not in self.cells:
+            self.cells[cell] = CellAggregate(cell)
+        self.cells[cell].add(result)
+
+    def get(self, cell: str) -> Optional[CellAggregate]:
+        return self.cells.get(cell)
+
+    @property
+    def total_trials(self) -> int:
+        return sum(c.trials for c in self.cells.values())
+
+    def summary(self, cell_order: Optional[List[str]] = None) -> Dict:
+        """Machine-readable per-cell + total statistics.
+
+        ``cell_order`` (the spec's canonical cell list) fixes the key
+        order so two summaries of the same campaign serialize
+        identically; cells never run (e.g. an aborted campaign) are
+        omitted.
+        """
+        order = cell_order if cell_order is not None else sorted(self.cells)
+        cells = {c: self.cells[c].summary() for c in order if c in self.cells}
+        totals = {
+            "trials": sum(c["trials"] for c in cells.values()),
+            "strikes": sum(c["strikes"] for c in cells.values()),
+            "sdc_trials": sum(self.cells[c].sdc_trials for c in cells),
+            "due_trials": sum(self.cells[c].due_trials for c in cells),
+            "recovered_trials": sum(self.cells[c].recovered_trials
+                                    for c in cells),
+        }
+        return {"cells": cells, "totals": totals}

@@ -1,0 +1,222 @@
+"""Campaign orchestration: expand, resume, fan out, aggregate.
+
+Execution proceeds in **waves**. Each wave takes, from every cell that
+is still active, the missing trials of its earliest incomplete batch,
+and fans the union across the executor. At wave boundaries — and only
+there — the engine re-derives each cell's situation *from the store
+contents*:
+
+* all trials present           -> cell finished;
+* a full prefix of batches present and the SDC CI narrow enough
+  (``spec.ci_halfwidth``)      -> cell early-stopped, rest skipped;
+* otherwise                    -> schedule the earliest incomplete batch.
+
+Because the decision inputs are deterministic functions of the completed
+trial set, and every trial is a pure function of its seed, a campaign
+killed at any point and resumed reaches byte-identical statistics, and
+``workers=1`` and ``workers=N`` runs are indistinguishable in every
+number they report (the tests pin both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, TextIO, Tuple
+
+from repro.campaign.aggregate import Aggregator, CellAggregate
+from repro.campaign.executor import ExecutionReport, execute_trials, run_trial
+from repro.campaign.progress import ProgressTracker, Ticker
+from repro.campaign.spec import CampaignError, CampaignSpec, TrialSpec, \
+    cell_id
+from repro.campaign.store import ResultStore
+from repro.campaign.trial import TrialResult
+
+
+@dataclass
+class CampaignSummary:
+    """The campaign's final word: statistics plus observability."""
+
+    spec: Dict
+    cells: Dict
+    totals: Dict
+    progress: Optional[Dict] = None
+    early_stopped: List[str] = field(default_factory=list)
+
+    def stats_dict(self) -> Dict:
+        """The deterministic portion (no timing) — what the resume and
+        serial-vs-parallel tests compare byte-for-byte."""
+        return {"spec": self.spec, "cells": self.cells,
+                "totals": self.totals,
+                "early_stopped": sorted(self.early_stopped)}
+
+    def to_dict(self) -> Dict:
+        data = self.stats_dict()
+        data["progress"] = self.progress
+        return data
+
+
+def _preload(store: ResultStore, aggregator: Aggregator
+             ) -> Dict[Tuple[str, int], TrialResult]:
+    """Replay the store into the aggregator; returns completed trials."""
+    completed: Dict[Tuple[str, int], TrialResult] = {}
+    for record in store.iter_trials():
+        result = TrialResult.from_record(record)
+        completed[result.key()] = result
+        aggregator.add(result)
+    return completed
+
+
+def _prefix_aggregate(cell: str, batches: Sequence[Sequence[TrialSpec]],
+                      completed: Dict[Tuple[str, int], TrialResult],
+                      n_batches: int) -> CellAggregate:
+    """Aggregate over exactly the first ``n_batches`` batches.
+
+    The early-stop test must see the same trial set no matter when the
+    campaign was interrupted, so it is evaluated on full batch prefixes
+    only — never on whatever happens to be on disk.
+    """
+    agg = CellAggregate(cell)
+    for batch in batches[:n_batches]:
+        for trial in batch:
+            agg.add(completed[trial.key()])
+    return agg
+
+
+def run_campaign(spec: CampaignSpec,
+                 store_path,
+                 workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 runner=run_trial,
+                 progress_stream: Optional[TextIO] = None,
+                 ticker_enabled: Optional[bool] = None,
+                 ) -> CampaignSummary:
+    """Run (or resume) a campaign against a JSONL store.
+
+    A fresh store is created from ``spec``; an existing one must carry an
+    identical spec header, and its completed trials are skipped. The
+    returned summary's statistics depend only on the spec — never on
+    worker count, timing, interruptions, or retry history.
+    """
+    store = ResultStore(store_path)
+    store.repair()  # drop any torn final line before we append past it
+    if store.exists():
+        stored = store.load_spec()
+        if stored != spec:
+            raise CampaignError(
+                f"store {store.path!r} holds a different campaign "
+                f"(stored spec {stored.to_dict()} != requested "
+                f"{spec.to_dict()}); pick a new store file or use "
+                f"`campaign resume` to continue the stored one")
+    else:
+        store.create(spec)
+
+    aggregator = Aggregator()
+    completed = _preload(store, aggregator)
+
+    tracker = ProgressTracker(planned=spec.total_trials)
+    ticker = Ticker(tracker, stream=progress_stream, enabled=ticker_enabled)
+    cells = spec.cells()
+    for cell_axes in cells:
+        cid = cell_id(*cell_axes)
+        tracker.plan_cell(cid, spec.trials)
+        already = sum(1 for t in spec.cell_trials(*cell_axes)
+                      if t.key() in completed)
+        if already:
+            tracker.resume_skip(cid, already)
+
+    early_stopped: List[str] = []
+    finished: Set[str] = set()
+    report = ExecutionReport()
+
+    def on_result(result: TrialResult) -> None:
+        store.append_trial(result.to_record())
+        completed[result.key()] = result
+        aggregator.add(result)
+        tracker.update(result.cell)
+        ticker.tick()
+
+    try:
+        while True:
+            wave: List[TrialSpec] = []
+            for cell_axes in cells:
+                cid = cell_id(*cell_axes)
+                if cid in finished:
+                    continue
+                batches = spec.batches(*cell_axes)
+                pending_batch = None
+                full_prefix = 0
+                for i, batch in enumerate(batches):
+                    missing = [t for t in batch
+                               if t.key() not in completed]
+                    if missing:
+                        pending_batch = missing
+                        break
+                    full_prefix = i + 1
+                if pending_batch is None:
+                    finished.add(cid)
+                    tracker.finish_cell(cid)
+                    continue
+                # early-stop checks happen only on clean batch prefixes:
+                # interrupted partial batches are completed first, so the
+                # decision sequence is interruption-independent
+                prefix_trials = full_prefix * spec.batch
+                at_boundary = len(pending_batch) == len(
+                    batches[full_prefix])
+                if (spec.ci_halfwidth is not None and at_boundary
+                        and prefix_trials > 0):
+                    prefix = _prefix_aggregate(cid, batches, completed,
+                                               full_prefix)
+                    if prefix.ci_met(spec.ci_halfwidth):
+                        finished.add(cid)
+                        early_stopped.append(cid)
+                        tracker.early_stop(cid)
+                        tracker.finish_cell(cid)
+                        continue
+                wave.extend(pending_batch)
+            if not wave:
+                break
+            wave_report = ExecutionReport()
+            execute_trials(wave, workers=workers, timeout=timeout,
+                           runner=runner, on_result=on_result,
+                           report=wave_report)
+            report.worker_failures += wave_report.worker_failures
+            report.retries += wave_report.retries
+            report.timeouts += wave_report.timeouts
+            tracker.absorb(wave_report.worker_failures, wave_report.retries,
+                           wave_report.timeouts)
+            if wave_report.degraded_to_serial:
+                workers = 1  # the pool is gone; stay serial from here on
+    finally:
+        ticker.close()
+
+    stats = aggregator.summary(cell_order=[cell_id(*c) for c in cells])
+    return CampaignSummary(spec=spec.to_dict(), cells=stats["cells"],
+                           totals=stats["totals"],
+                           progress=tracker.summary(),
+                           early_stopped=early_stopped)
+
+
+def summarize_store(store_path) -> CampaignSummary:
+    """Aggregate whatever a store holds, without running anything.
+
+    A campaign early-stopped cell is reported from its on-disk trials;
+    the summary is byte-identical to what ``run_campaign`` returned for
+    the same store (minus the progress section, which is ``None`` here).
+    """
+    store = ResultStore(store_path)
+    if not store.exists():
+        raise CampaignError(f"no campaign store at {store.path!r}")
+    spec = store.load_spec()
+    aggregator = Aggregator()
+    completed = _preload(store, aggregator)
+    cells = spec.cells()
+    early_stopped = []
+    for cell_axes in cells:
+        done = sum(1 for t in spec.cell_trials(*cell_axes)
+                   if t.key() in completed)
+        if spec.ci_halfwidth is not None and 0 < done < spec.trials:
+            early_stopped.append(cell_id(*cell_axes))
+    stats = aggregator.summary(cell_order=[cell_id(*c) for c in cells])
+    return CampaignSummary(spec=spec.to_dict(), cells=stats["cells"],
+                           totals=stats["totals"], progress=None,
+                           early_stopped=early_stopped)

@@ -1,0 +1,140 @@
+"""Trial fan-out: process pool with timeouts, retry, serial fallback.
+
+The executor never decides *what* to run — the engine hands it a wave of
+:class:`TrialSpec` and it returns one :class:`TrialResult` per trial, in
+submission order. Failure policy:
+
+* a trial that raises (or times out) in a worker is retried **once**,
+  in-process, where the full traceback is visible;
+* a second failure raises :class:`TrialFailure` with the trial attached;
+* a broken pool (worker SIGKILLed, interpreter mismatch, ...) degrades
+  the rest of the campaign to serial execution instead of dying.
+
+Because every trial is a pure function of its spec, retries and
+degradation cannot change any number — only wall-clock time.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
+    FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.campaign.spec import TrialSpec
+from repro.campaign.trial import TrialResult, run_trial
+
+
+class TrialFailure(RuntimeError):
+    """A trial failed its worker run *and* its in-process retry."""
+
+    def __init__(self, trial: TrialSpec, cause: BaseException) -> None:
+        super().__init__(f"trial {trial} failed twice: {cause!r}")
+        self.trial = trial
+        self.cause = cause
+
+
+@dataclass
+class ExecutionReport:
+    """What the fan-out had to absorb (feeds the progress layer)."""
+
+    worker_failures: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    degraded_to_serial: bool = False
+
+
+def default_workers(n_trials: int) -> int:
+    return max(1, min(n_trials, os.cpu_count() or 1))
+
+
+def _retry(trial: TrialSpec, runner: Callable[[TrialSpec], TrialResult],
+           first_error: BaseException,
+           report: ExecutionReport) -> TrialResult:
+    report.worker_failures += 1
+    report.retries += 1
+    try:
+        return runner(trial)
+    except Exception as exc:
+        report.worker_failures += 1
+        raise TrialFailure(trial, exc) from first_error
+
+
+def _execute_serial(trials: Sequence[TrialSpec],
+                    runner: Callable[[TrialSpec], TrialResult],
+                    report: ExecutionReport,
+                    on_result: Optional[Callable[[TrialResult], None]]
+                    ) -> List[TrialResult]:
+    results = []
+    for trial in trials:
+        try:
+            result = runner(trial)
+        except Exception as exc:
+            result = _retry(trial, runner, exc, report)
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+    return results
+
+
+def execute_trials(trials: Sequence[TrialSpec],
+                   workers: Optional[int] = None,
+                   timeout: Optional[float] = None,
+                   runner: Callable[[TrialSpec], TrialResult] = run_trial,
+                   on_result: Optional[Callable[[TrialResult], None]] = None,
+                   report: Optional[ExecutionReport] = None,
+                   ) -> List[TrialResult]:
+    """Run one wave of trials; results in submission order.
+
+    ``on_result`` fires in submission order as results are collected
+    (the engine appends to the store and ticks progress from it).
+    ``timeout`` bounds each job's wait in seconds; a timed-out job is
+    counted and retried in-process like any other failure.
+    """
+    if report is None:
+        report = ExecutionReport()
+    if not trials:
+        return []
+    if workers is None:
+        workers = default_workers(len(trials))
+    if workers <= 1:
+        return _execute_serial(trials, runner, report, on_result)
+
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(trials)))
+    results: List[TrialResult] = []
+    abandoned = False
+    try:
+        futures = [pool.submit(runner, t) for t in trials]
+        for index, (trial, future) in enumerate(zip(trials, futures)):
+            try:
+                result = future.result(timeout=timeout)
+            except BrokenProcessPool as exc:
+                # pool is unusable: absorb the failure and finish the
+                # remainder of the wave serially
+                report.worker_failures += 1
+                report.degraded_to_serial = True
+                abandoned = True
+                result = _retry(trial, runner, exc, report)
+                results.append(result)
+                if on_result is not None:
+                    on_result(result)
+                rest = _execute_serial(trials[index + 1:], runner, report,
+                                       on_result)
+                results.extend(rest)
+                return results
+            except FutureTimeout as exc:
+                report.timeouts += 1
+                abandoned = True  # the stuck worker may never return
+                result = _retry(trial, runner, exc, report)
+            except Exception as exc:
+                result = _retry(trial, runner, exc, report)
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        return results
+    finally:
+        # after a timeout a worker may still be wedged on the old job;
+        # don't block campaign shutdown on it
+        pool.shutdown(wait=not abandoned, cancel_futures=abandoned)

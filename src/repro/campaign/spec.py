@@ -1,0 +1,147 @@
+"""Campaign specifications: the trial grid and its deterministic expansion.
+
+A campaign is a grid of **cells** — one per (scheme, workload, SER) — and
+every cell holds ``trials`` seeded Monte Carlo trials. The expansion
+order is fixed (cell-major, seed-ascending) and every trial is fully
+determined by its :class:`TrialSpec`, which is what makes campaigns
+resumable and makes serial and parallel execution produce identical
+numbers.
+
+Trials inside a cell are grouped into fixed **batches** of ``batch``
+seeds. The batch is the campaign's scheduling shard (one batch per cell
+is fanned out per wave) *and* the sequential-early-stopping decision
+boundary: the engine only evaluates a cell's confidence interval when a
+whole prefix of batches has completed, so the decision sequence is
+independent of interruptions and worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: schemes a campaign may inject into — the unprotected baseline has no
+#: detectors to fire, so it is not a valid fault-injection target.
+PROTECTED_SCHEMES: Tuple[str, ...] = ("unsync", "reunion")
+
+
+class CampaignError(ValueError):
+    """Invalid campaign specification or store/spec mismatch."""
+
+
+def cell_id(scheme: str, workload: str, ser: float) -> str:
+    """Canonical cell key, e.g. ``"unsync/sha/0.0001"``."""
+    return f"{scheme}/{workload}/{ser:g}"
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One Monte Carlo trial: everything the worker needs, picklable."""
+
+    scheme: str
+    workload: str
+    #: per-cycle strike rate fed to :class:`repro.faults.injector.FaultInjector`
+    ser: float
+    seed: int
+
+    @property
+    def cell(self) -> str:
+        return cell_id(self.scheme, self.workload, self.ser)
+
+    def key(self) -> Tuple[str, int]:
+        """The store's dedup/resume key."""
+        return (self.cell, self.seed)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The full (scheme x workload x SER x seed) grid of a campaign."""
+
+    schemes: Tuple[str, ...]
+    workloads: Tuple[str, ...]
+    #: per-cycle strike rates (use ``SERModel.per_cycle`` to derive one
+    #: from a technology node)
+    sers: Tuple[float, ...]
+    #: seeded trials per cell
+    trials: int
+    seed_base: int = 0
+    #: sequential early stopping: a cell stops once the Wilson CI on its
+    #: SDC proportion has half-width <= this (None = run every trial)
+    ci_halfwidth: Optional[float] = None
+    #: trials per scheduling batch / early-stop decision boundary
+    batch: int = 25
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "sers", tuple(float(s) for s in self.sers))
+        for scheme in self.schemes:
+            if scheme not in PROTECTED_SCHEMES:
+                raise CampaignError(
+                    f"scheme {scheme!r} cannot take fault injection "
+                    f"(choose from {PROTECTED_SCHEMES})")
+        if not self.schemes or not self.workloads or not self.sers:
+            raise CampaignError("campaign grid has an empty axis")
+        if any(s < 0 for s in self.sers):
+            raise CampaignError("SER rates must be non-negative")
+        if len(set(self.sers)) != len(self.sers):
+            raise CampaignError("duplicate SER rates in grid")
+        if self.trials <= 0:
+            raise CampaignError("need at least one trial per cell")
+        if self.batch <= 0:
+            raise CampaignError("batch must be positive")
+        if self.ci_halfwidth is not None and not 0 < self.ci_halfwidth < 1:
+            raise CampaignError("ci_halfwidth must be in (0, 1)")
+
+    # -- expansion ----------------------------------------------------------
+    def cells(self) -> List[Tuple[str, str, float]]:
+        """All (scheme, workload, ser) cells in canonical order."""
+        return [(s, w, r) for s in self.schemes for w in self.workloads
+                for r in self.sers]
+
+    def cell_trials(self, scheme: str, workload: str,
+                    ser: float) -> List[TrialSpec]:
+        """One cell's trials in seed order."""
+        return [TrialSpec(scheme, workload, ser, self.seed_base + i)
+                for i in range(self.trials)]
+
+    def expand(self) -> List[TrialSpec]:
+        """Every trial of the campaign, cell-major, seed-ascending."""
+        return [t for cell in self.cells() for t in self.cell_trials(*cell)]
+
+    def batches(self, scheme: str, workload: str,
+                ser: float) -> List[List[TrialSpec]]:
+        """A cell's trials chunked into fixed scheduling batches."""
+        trials = self.cell_trials(scheme, workload, ser)
+        return [trials[i:i + self.batch]
+                for i in range(0, len(trials), self.batch)]
+
+    @property
+    def total_trials(self) -> int:
+        return len(self.schemes) * len(self.workloads) * len(self.sers) \
+            * self.trials
+
+    # -- JSON round-trip (the store header) ---------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "schemes": list(self.schemes),
+            "workloads": list(self.workloads),
+            "sers": list(self.sers),
+            "trials": self.trials,
+            "seed_base": self.seed_base,
+            "ci_halfwidth": self.ci_halfwidth,
+            "batch": self.batch,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CampaignSpec":
+        try:
+            return cls(schemes=tuple(data["schemes"]),
+                       workloads=tuple(data["workloads"]),
+                       sers=tuple(data["sers"]),
+                       trials=int(data["trials"]),
+                       seed_base=int(data.get("seed_base", 0)),
+                       ci_halfwidth=data.get("ci_halfwidth"),
+                       batch=int(data.get("batch", 25)))
+        except KeyError as exc:
+            raise CampaignError(f"spec record missing field {exc}") from exc

@@ -1,0 +1,145 @@
+"""Append-only JSONL result store — the campaign's durability layer.
+
+Layout: line 1 is the spec header, every further line one completed
+trial::
+
+    {"kind": "spec", "spec": {...}}
+    {"kind": "trial", "cell": "unsync/sha/0.0001", "seed": 3, ...}
+
+Records are flushed per trial, so a campaign killed at any instant loses
+at most the line being written. On resume the reader tolerates exactly
+that: a torn (unparsable or truncated) *final* line is dropped; garbage
+anywhere earlier is corruption and raises. Trials are keyed by
+``(cell, seed)`` — the engine skips keys already present, and readers
+deduplicate on first occurrence so a re-run trial (its record torn, then
+rewritten) cannot double-count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.campaign.spec import CampaignError, CampaignSpec
+
+SPEC_KIND = "spec"
+TRIAL_KIND = "trial"
+
+
+class StoreCorruption(CampaignError):
+    """A non-final line of the store failed to parse."""
+
+
+class ResultStore:
+    """One campaign's JSONL file."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path) and os.path.getsize(self.path) > 0
+
+    # -- writing ------------------------------------------------------------
+    def repair(self) -> bool:
+        """Truncate torn trailing data left by a killed writer.
+
+        Must run before any append to a pre-existing store: a torn final
+        line is tolerated by readers, but appending *past* it would turn
+        it into mid-file corruption. A trailer that parses and only lost
+        its newline is completed instead of dropped. Returns True if the
+        file was modified.
+        """
+        if not os.path.exists(self.path):
+            return False
+        with open(self.path, "rb+") as fh:
+            data = fh.read()
+            end = len(data)
+            changed = False
+            if data and not data.endswith(b"\n"):
+                nl = data.rfind(b"\n")
+                try:
+                    json.loads(data[nl + 1:])
+                except json.JSONDecodeError:
+                    end = nl + 1
+                    changed = True
+                else:
+                    fh.write(b"\n")
+                    return True
+            while end > 0:
+                prev = data.rfind(b"\n", 0, end - 1)
+                line = data[prev + 1:end].strip()
+                if not line:
+                    end = prev + 1
+                    changed = True
+                    continue
+                try:
+                    json.loads(line)
+                    break
+                except json.JSONDecodeError:
+                    end = prev + 1
+                    changed = True
+            if changed:
+                fh.truncate(end)
+        return changed
+
+    def create(self, spec: CampaignSpec) -> None:
+        """Start a fresh store with the spec header."""
+        if self.exists():
+            raise CampaignError(f"store {self.path!r} already exists")
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.path, "w") as fh:
+            fh.write(json.dumps({"kind": SPEC_KIND, "spec": spec.to_dict()},
+                                sort_keys=True) + "\n")
+
+    def append_trial(self, record: Dict) -> None:
+        """Durably append one completed trial."""
+        line = json.dumps(dict(record, kind=TRIAL_KIND), sort_keys=True)
+        # flush-per-line: a SIGKILL loses at most the line being written
+        # (the reader drops a torn final line)
+        with open(self.path, "a") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+
+    # -- reading ------------------------------------------------------------
+    def _records(self) -> Iterator[Dict]:
+        with open(self.path) as fh:
+            lines = fh.read().splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    return  # torn final line from a killed campaign
+                raise StoreCorruption(
+                    f"{self.path}:{i + 1}: unparsable non-final record")
+
+    def load_spec(self) -> CampaignSpec:
+        for record in self._records():
+            if record.get("kind") != SPEC_KIND:
+                raise StoreCorruption(
+                    f"{self.path}: first record is not a spec header")
+            return CampaignSpec.from_dict(record["spec"])
+        raise CampaignError(f"store {self.path!r} is empty")
+
+    def iter_trials(self) -> Iterator[Dict]:
+        """Trial records in write order, deduplicated on (cell, seed)."""
+        seen: Set[Tuple[str, int]] = set()
+        for record in self._records():
+            if record.get("kind") != TRIAL_KIND:
+                continue
+            key = (record["cell"], record["seed"])
+            if key in seen:
+                continue
+            seen.add(key)
+            yield record
+
+    def completed(self) -> Set[Tuple[str, int]]:
+        """Keys of every trial already on disk."""
+        return {(r["cell"], r["seed"]) for r in self.iter_trials()}
+
+    def trial_records(self) -> List[Dict]:
+        return list(self.iter_trials())

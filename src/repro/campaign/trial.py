@@ -1,0 +1,119 @@
+"""One Monte Carlo trial: seed in, adjudicated outcomes out.
+
+``run_trial`` is the process-pool worker entry point (top-level so it
+pickles). It deliberately contains *no* simulation logic of its own —
+the injector, detectors and recovery paths are exactly the ones
+``repro run --inject`` exercises, so campaign statistics and single-run
+debugging always agree.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.campaign.spec import TrialSpec
+from repro.faults.events import Outcome
+
+#: outcome keys in record order (FaultEvent outcomes plus derived ones)
+OUTCOME_KEYS: Tuple[str, ...] = tuple(o.value for o in Outcome)
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Everything one trial contributes to the campaign aggregate.
+
+    All counters are integers so that aggregation is exact and
+    order-independent — the root of the serial == parallel and
+    resumed == uninterrupted guarantees.
+    """
+
+    scheme: str
+    workload: str
+    ser: float
+    seed: int
+    cycles: int
+    instructions: int
+    #: strikes injected during the run
+    strikes: int
+    #: Outcome.value -> event count
+    outcomes: Dict[str, int]
+    #: total recovery/rollback cycles charged during the run
+    recovery_cycles: int
+
+    @property
+    def cell(self) -> str:
+        from repro.campaign.spec import cell_id
+        return cell_id(self.scheme, self.workload, self.ser)
+
+    def key(self) -> Tuple[str, int]:
+        return (self.cell, self.seed)
+
+    def count(self, outcome: Outcome) -> int:
+        return self.outcomes.get(outcome.value, 0)
+
+    @property
+    def suffered_sdc(self) -> bool:
+        return self.count(Outcome.SDC) > 0
+
+    @property
+    def suffered_due(self) -> bool:
+        return self.count(Outcome.DETECTED_UNRECOVERABLE) > 0
+
+    @property
+    def recovered(self) -> bool:
+        return self.count(Outcome.DETECTED_RECOVERED) > 0
+
+    # -- JSONL round-trip ---------------------------------------------------
+    def to_record(self) -> Dict:
+        return {
+            "cell": self.cell,
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "ser": self.ser,
+            "seed": self.seed,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "strikes": self.strikes,
+            "outcomes": {k: v for k, v in sorted(self.outcomes.items()) if v},
+            "recovery_cycles": self.recovery_cycles,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "TrialResult":
+        return cls(scheme=record["scheme"], workload=record["workload"],
+                   ser=float(record["ser"]), seed=int(record["seed"]),
+                   cycles=int(record["cycles"]),
+                   instructions=int(record["instructions"]),
+                   strikes=int(record["strikes"]),
+                   outcomes={k: int(v)
+                             for k, v in record["outcomes"].items()},
+                   recovery_cycles=int(record["recovery_cycles"]))
+
+
+def run_trial(trial: TrialSpec) -> TrialResult:
+    """Worker entry point: run one seeded injection trial.
+
+    Imports stay inside the function so a forked/spawned worker only
+    pays for what it uses (the same convention as
+    ``repro.harness.parallel._run_one``).
+    """
+    from repro.faults.injector import FaultInjector
+    from repro.harness.runner import run_scheme
+    from repro.workloads import load_workload
+
+    program = load_workload(trial.workload)
+    injector = FaultInjector(trial.ser, seed=trial.seed)
+    res = run_scheme(trial.scheme, program, injector=injector)
+    outcomes = Counter(e.outcome.value for e in res.fault_events
+                       if e.outcome is not None)
+    # UnSync charges recovery_cycles, Reunion rollback_cycles; both are
+    # integer cycle totals reported through `extra`.
+    recovery = int(res.extra.get("recovery_cycles", 0)
+                   + res.extra.get("rollback_cycles", 0))
+    return TrialResult(scheme=trial.scheme, workload=trial.workload,
+                       ser=trial.ser, seed=trial.seed,
+                       cycles=res.cycles, instructions=res.instructions,
+                       strikes=len(res.fault_events),
+                       outcomes=dict(outcomes), recovery_cycles=recovery)

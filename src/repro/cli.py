@@ -9,6 +9,7 @@ Everything the library does, runnable from a shell::
     python -m repro table1|table2|table3         # the paper's tables
     python -m repro fig4|fig5|fig6               # the paper's figures
     python -m repro ser|roec|breakeven           # Sec VI-C / VI-D
+    python -m repro campaign run|resume|summarize  # Monte Carlo FI campaigns
 """
 
 from __future__ import annotations
@@ -39,12 +40,11 @@ def _cmd_list(args) -> int:
 
 def _load_program(name: str):
     from repro.isa.assembler import assemble
-    from repro.workloads import ALL_BENCHMARKS, KERNELS, load_benchmark, \
-        load_kernel
-    if name in ALL_BENCHMARKS:
-        return load_benchmark(name)
-    if name in KERNELS:
-        return load_kernel(name)
+    from repro.workloads import load_workload
+    try:
+        return load_workload(name)
+    except KeyError:
+        pass
     try:
         with open(name) as fh:
             return assemble(fh.read(), name=name)
@@ -315,6 +315,99 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _print_campaign_summary(summary) -> None:
+    def iv(d):
+        return f"{d['estimate']:.3f} [{d['low']:.3f}, {d['high']:.3f}]"
+    rows = [[cell, st["trials"], st["strikes"], iv(st["p_sdc"]),
+             iv(st["p_recovered"]), f"{st['mean_recovery_cycles']:.1f}",
+             f"{st['ipc']:.3f}"]
+            for cell, st in summary.cells.items()]
+    print(format_table(
+        ["cell", "trials", "strikes", "P[SDC] 95% CI",
+         "P[recovered] 95% CI", "recovery cyc/trial", "IPC"],
+        rows, title="Campaign summary"))
+    t = summary.totals
+    print(f"totals: {t['trials']} trials, {t['strikes']} strikes, "
+          f"{t['sdc_trials']} SDC trials, "
+          f"{t['recovered_trials']} recovered trials")
+    if summary.early_stopped:
+        print("early-stopped cells: " + ", ".join(summary.early_stopped))
+    if summary.progress is not None:
+        p = summary.progress
+        print(f"ran {p['trials_run']} trials "
+              f"(+{p['resumed_trials']} resumed, "
+              f"{p['early_stopped_trials']} early-stopped) in "
+              f"{p['elapsed_seconds']:.1f}s — "
+              f"{p['trials_per_second']:.1f} trials/s, "
+              f"{p['worker_failures']} worker failures")
+
+
+def _emit_campaign_summary(summary, as_json: bool) -> int:
+    if as_json:
+        import json
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_campaign_summary(summary)
+    return 0
+
+
+def _cmd_campaign_run(args) -> int:
+    from repro.campaign import CampaignError, CampaignSpec, run_campaign
+    sers = [float(s) for s in (args.ser or [])]
+    if args.node:
+        from repro.faults.ser import SERModel
+        # real SERs (~1e-17/instruction) produce no strikes in simulable
+        # horizons; accelerated sampling is the standard move
+        sers += [SERModel.at_node(n).per_cycle(ipc=args.ipc) * args.accel
+                 for n in args.node]
+    from repro.workloads import workload_names
+    try:
+        if not sers:
+            raise CampaignError("give at least one --ser rate or --node")
+        known = workload_names()
+        for name in args.workloads:
+            if name not in known:
+                raise CampaignError(
+                    f"unknown workload {name!r} (try one of "
+                    f"{', '.join(known)})")
+        spec = CampaignSpec(schemes=tuple(args.schemes),
+                            workloads=tuple(args.workloads),
+                            sers=tuple(sers), trials=args.trials,
+                            seed_base=args.seed_base,
+                            ci_halfwidth=args.ci_halfwidth,
+                            batch=args.batch)
+        summary = run_campaign(
+            spec, args.store, workers=args.workers, timeout=args.timeout,
+            ticker_enabled=True if args.progress else None)
+    except CampaignError as exc:
+        raise SystemExit(f"error: {exc}")
+    return _emit_campaign_summary(summary, args.json)
+
+
+def _cmd_campaign_resume(args) -> int:
+    from repro.campaign import CampaignError, ResultStore, run_campaign
+    try:
+        store = ResultStore(args.store)
+        if not store.exists():
+            raise CampaignError(f"no campaign store at {args.store!r}")
+        spec = store.load_spec()
+        summary = run_campaign(
+            spec, args.store, workers=args.workers, timeout=args.timeout,
+            ticker_enabled=True if args.progress else None)
+    except CampaignError as exc:
+        raise SystemExit(f"error: {exc}")
+    return _emit_campaign_summary(summary, args.json)
+
+
+def _cmd_campaign_summarize(args) -> int:
+    from repro.campaign import CampaignError, summarize_store
+    try:
+        summary = summarize_store(args.store)
+    except CampaignError as exc:
+        raise SystemExit(f"error: {exc}")
+    return _emit_campaign_summary(summary, args.json)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -387,6 +480,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schemes", nargs="*",
                    default=["baseline", "unsync", "reunion"])
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="Monte Carlo fault-injection campaigns (run/resume/summarize)")
+    csub = p.add_subparsers(dest="action", required=True)
+
+    def _campaign_common(cp):
+        cp.add_argument("--store", required=True, metavar="FILE.jsonl",
+                        help="append-only JSONL result store")
+        cp.add_argument("--json", action="store_true",
+                        help="machine-readable summary instead of tables")
+
+    def _campaign_exec(cp):
+        cp.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (1 = serial; default: CPUs)")
+        cp.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-trial timeout; timed-out trials retry once")
+        cp.add_argument("--progress", action="store_true",
+                        help="force the live stderr ticker (default: only "
+                             "on a TTY)")
+
+    cp = csub.add_parser("run", help="start a campaign (resumes if the "
+                                     "store already holds the same spec)")
+    _campaign_common(cp)
+    _campaign_exec(cp)
+    cp.add_argument("--schemes", nargs="+", default=["unsync", "reunion"],
+                    choices=["unsync", "reunion"])
+    cp.add_argument("--workloads", nargs="+", required=True,
+                    help="benchmarks and/or kernels (see `repro list`)")
+    cp.add_argument("--ser", nargs="*", type=float, default=None,
+                    metavar="RATE", help="per-cycle strike rates")
+    cp.add_argument("--node", nargs="*", type=int, default=None,
+                    metavar="NM", help="derive a rate from a technology "
+                                       "node via SERModel (accelerated)")
+    cp.add_argument("--ipc", type=float, default=1.0,
+                    help="IPC assumed by the --node conversion")
+    cp.add_argument("--accel", type=float, default=1e12,
+                    help="acceleration factor applied to --node rates")
+    cp.add_argument("--trials", type=int, default=50,
+                    help="seeded trials per (scheme, workload, SER) cell")
+    cp.add_argument("--seed-base", type=int, default=0)
+    cp.add_argument("--ci-halfwidth", type=float, default=None, metavar="W",
+                    help="stop a cell early once its SDC CI half-width "
+                         "<= W (sequential early stopping)")
+    cp.add_argument("--batch", type=int, default=25,
+                    help="trials per scheduling batch / early-stop "
+                         "decision boundary")
+    cp.set_defaults(fn=_cmd_campaign_run)
+
+    cp = csub.add_parser("resume", help="continue an interrupted campaign "
+                                        "from its store")
+    _campaign_common(cp)
+    _campaign_exec(cp)
+    cp.set_defaults(fn=_cmd_campaign_resume)
+
+    cp = csub.add_parser("summarize", help="aggregate a store without "
+                                           "running anything")
+    _campaign_common(cp)
+    cp.set_defaults(fn=_cmd_campaign_summarize)
 
     p = sub.add_parser("trace", help="pipeline diagram for a workload's "
                                      "first N instructions")

@@ -97,6 +97,18 @@ class SERModel:
                 scale_fit(FIT_130NM), frequency_hz, ipc))
         return cls(per_instruction=per_ins)
 
+    def per_cycle(self, ipc: float = 1.0) -> float:
+        """Per-clock-cycle strike probability at a given IPC.
+
+        :class:`repro.faults.injector.FaultInjector` takes its rate per
+        cycle, so this is the bridge from the paper's per-instruction
+        operating points to the injector (and the campaign engine's
+        ``--node`` option).
+        """
+        if ipc <= 0:
+            raise ValueError("ipc must be positive")
+        return self.per_instruction * ipc
+
     def errors_expected(self, instructions: int) -> float:
         """Expected strike count over ``instructions`` retirements."""
         return self.per_instruction * instructions

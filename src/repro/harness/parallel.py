@@ -53,6 +53,20 @@ class JobResult:
     extra: Dict[str, float] = field(default_factory=dict)
 
 
+class GridJobError(RuntimeError):
+    """A grid cell failed its initial run *and* its retry.
+
+    Carries the failing :class:`JobSpec` (``.spec``) so callers can tell
+    which cell of a large sweep died instead of losing the whole grid to
+    an anonymous traceback.
+    """
+
+    def __init__(self, spec: JobSpec, cause: BaseException) -> None:
+        super().__init__(f"grid job {spec} failed twice: {cause!r}")
+        self.spec = spec
+        self.cause = cause
+
+
 def _run_one(spec: JobSpec) -> JobResult:
     """Worker entry point (top-level so it pickles)."""
     from repro.harness.runner import run_scheme
@@ -75,6 +89,14 @@ def _run_one(spec: JobSpec) -> JobResult:
                      extra=dict(res.extra))
 
 
+def _retry_one(job: JobSpec, first_error: BaseException) -> JobResult:
+    """One in-process retry before giving up on a cell."""
+    try:
+        return _run_one(job)
+    except Exception as exc:
+        raise GridJobError(job, exc) from first_error
+
+
 def run_grid(jobs: List[JobSpec],
              workers: Optional[int] = None) -> List[JobResult]:
     """Run all jobs; order of results matches the order of jobs.
@@ -82,12 +104,30 @@ def run_grid(jobs: List[JobSpec],
     ``workers=0`` or ``1`` runs serially in-process (useful under
     debuggers and on single-CPU boxes); otherwise a process pool of
     ``workers`` (default: CPU count, capped by the job count).
+
+    Jobs are submitted individually — one crashing worker no longer
+    aborts the whole grid as ``pool.map`` would. A failed job is retried
+    once in-process; if it fails again, :class:`GridJobError` surfaces
+    with the offending spec attached.
     """
     if not jobs:
         return []
     if workers is None:
         workers = min(len(jobs), os.cpu_count() or 1)
     if workers <= 1:
-        return [_run_one(job) for job in jobs]
+        results = []
+        for job in jobs:
+            try:
+                results.append(_run_one(job))
+            except Exception as exc:
+                results.append(_retry_one(job, exc))
+        return results
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_one, jobs))
+        futures = [pool.submit(_run_one, job) for job in jobs]
+        results = []
+        for job, future in zip(jobs, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                results.append(_retry_one(job, exc))
+        return results

@@ -7,7 +7,7 @@ baseline run across its whole grid.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import astuple, dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import SystemConfig
@@ -18,7 +18,7 @@ from repro.reunion.check_stage import ReunionParams
 from repro.reunion.system import ReunionSystem
 from repro.unsync.system import UnSyncConfig, UnSyncSystem
 
-_baseline_cache: Dict[Tuple[str, int], RunResult] = {}
+_baseline_cache: Dict[Tuple, RunResult] = {}
 
 #: generous global budget; kernels are ~6k instructions
 MAX_CYCLES = 4_000_000
@@ -46,10 +46,22 @@ def run_scheme(scheme: str, program: Program,
     raise ValueError(f"unknown scheme {scheme!r}")
 
 
+def _config_key(config: Optional[SystemConfig]) -> Tuple:
+    """Value-based cache key for a configuration.
+
+    Keying on ``id(config)`` is unsound: once a config is garbage
+    collected its id can be reissued to a *different* config, which would
+    then silently hit the stale baseline. ``astuple`` flattens the frozen
+    dataclass (recursively, nested cache/TLB configs included) into a
+    hashable tuple of field values.
+    """
+    return astuple(config) if config is not None else ()
+
+
 def baseline_run(program: Program,
                  config: Optional[SystemConfig] = None) -> RunResult:
     """Cached unprotected-baseline run of ``program``."""
-    key = (program.name, id(config) if config is not None else 0)
+    key = (program.name, _config_key(config))
     if key not in _baseline_cache:
         _baseline_cache[key] = run_scheme("baseline", program, config=config)
     return _baseline_cache[key]

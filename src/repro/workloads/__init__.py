@@ -28,10 +28,33 @@ from repro.workloads.suites import (
 )
 from repro.workloads.kernels import KERNELS, load_kernel
 
+
+def workload_names():
+    """Every runnable workload: calibrated benchmarks plus hand-written
+    kernels."""
+    return sorted(ALL_BENCHMARKS) + sorted(KERNELS)
+
+
+def load_workload(name: str):
+    """Load a workload by name, benchmark or kernel alike.
+
+    The CLI and the campaign engine both address workloads by a single
+    flat namespace; this is the one resolver for it. Raises ``KeyError``
+    for unknown names (the caller decides how to report it).
+    """
+    if name in ALL_BENCHMARKS:
+        return load_benchmark(name)
+    if name in KERNELS:
+        return load_kernel(name)
+    raise KeyError(f"unknown workload {name!r} "
+                   f"(try one of {', '.join(workload_names())})")
+
+
 __all__ = [
     "WorkloadProfile", "ILP", "PROFILES",
     "generate", "generated_program",
     "SPEC2000", "MIBENCH", "ALL_BENCHMARKS", "load_benchmark",
     "benchmark_names",
     "KERNELS", "load_kernel",
+    "load_workload", "workload_names",
 ]

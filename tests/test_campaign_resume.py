@@ -1,0 +1,136 @@
+"""End-to-end determinism pins for the campaign engine (the PR's
+acceptance criteria):
+
+* a campaign killed mid-run (store truncated after N trials, optionally
+  with a torn trailing line) and resumed produces aggregate statistics
+  byte-identical to the same campaign run uninterrupted;
+* ``workers=1`` and ``workers=N`` campaigns produce identical numbers;
+* both hold with sequential early stopping enabled.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign, summarize_store
+
+
+def stats_bytes(summary):
+    """Canonical serialization of the deterministic portion."""
+    return json.dumps(summary.stats_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    # two schemes, one fast kernel, one accelerated SER: enough strikes
+    # for a meaningful outcome mix, small enough to run in seconds
+    return CampaignSpec(schemes=("unsync", "reunion"),
+                        workloads=("fibonacci",), sers=(0.01,),
+                        trials=8, batch=4)
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(spec, tmp_path_factory):
+    path = tmp_path_factory.mktemp("campaign") / "full.jsonl"
+    summary = run_campaign(spec, path, workers=1)
+    return path, stats_bytes(summary)
+
+
+def truncate_store(src, dst, n_trials, torn_tail=True):
+    """Replay an interruption: header + n_trials records (+ a torn line)."""
+    lines = src.read_text().splitlines()
+    kept = "\n".join(lines[:1 + n_trials]) + "\n"
+    if torn_tail and len(lines) > 1 + n_trials:
+        kept += lines[1 + n_trials][:23]  # mid-record kill
+    dst.write_text(kept)
+
+
+@pytest.mark.parametrize("n_trials,torn_tail", [(0, False), (3, True),
+                                                (5, True), (11, False)])
+def test_killed_and_resumed_is_byte_identical(spec, uninterrupted, tmp_path,
+                                              n_trials, torn_tail):
+    full_path, want = uninterrupted
+    path = tmp_path / "resumed.jsonl"
+    truncate_store(full_path, path, n_trials, torn_tail=torn_tail)
+    summary = run_campaign(spec, path, workers=1)
+    assert stats_bytes(summary) == want
+    assert summary.progress["resumed_trials"] == n_trials
+    assert summary.progress["trials_run"] == spec.total_trials - n_trials
+
+
+def test_resume_with_parallel_workers_is_byte_identical(spec, uninterrupted,
+                                                        tmp_path):
+    full_path, want = uninterrupted
+    path = tmp_path / "resumed.jsonl"
+    truncate_store(full_path, path, 6)
+    assert stats_bytes(run_campaign(spec, path, workers=3)) == want
+
+
+def test_serial_equals_parallel(spec, uninterrupted, tmp_path):
+    _, want = uninterrupted
+    summary = run_campaign(spec, tmp_path / "par.jsonl", workers=3)
+    assert stats_bytes(summary) == want
+
+
+def test_summarize_matches_run(uninterrupted):
+    full_path, want = uninterrupted
+    assert stats_bytes(summarize_store(full_path)) == want
+
+
+def test_resume_of_complete_campaign_runs_nothing(spec, uninterrupted,
+                                                  tmp_path):
+    full_path, want = uninterrupted
+    copy = tmp_path / "done.jsonl"
+    copy.write_text(full_path.read_text())
+
+    def forbidden(trial):
+        raise AssertionError("a complete campaign re-ran a trial")
+
+    summary = run_campaign(spec, copy, workers=1, runner=forbidden)
+    assert stats_bytes(summary) == want
+    assert summary.progress["trials_run"] == 0
+
+
+# ---------------------------------------------------------------------------
+# with sequential early stopping
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def es_spec():
+    # wide CI target: the first batch's SDC interval already satisfies
+    # it, so later batches are provably skipped
+    return CampaignSpec(schemes=("unsync",), workloads=("fibonacci",),
+                        sers=(0.002,), trials=40, batch=10,
+                        ci_halfwidth=0.25)
+
+
+@pytest.fixture(scope="module")
+def es_uninterrupted(es_spec, tmp_path_factory):
+    path = tmp_path_factory.mktemp("campaign-es") / "full.jsonl"
+    summary = run_campaign(es_spec, path, workers=1)
+    return path, summary
+
+
+def test_early_stopping_skips_trials(es_spec, es_uninterrupted):
+    _, summary = es_uninterrupted
+    assert summary.early_stopped == ["unsync/fibonacci/0.002"]
+    assert summary.progress["trials_run"] == 10
+    assert summary.progress["early_stopped_trials"] == 30
+    assert summary.totals["trials"] == 10
+
+
+def test_early_stopping_serial_equals_parallel(es_spec, es_uninterrupted,
+                                               tmp_path):
+    _, serial = es_uninterrupted
+    parallel = run_campaign(es_spec, tmp_path / "par.jsonl", workers=4)
+    assert stats_bytes(parallel) == stats_bytes(serial)
+    assert parallel.progress["trials_run"] == 10
+
+
+def test_early_stopping_resume_is_byte_identical(es_spec, es_uninterrupted,
+                                                 tmp_path):
+    full_path, serial = es_uninterrupted
+    path = tmp_path / "resumed.jsonl"
+    truncate_store(full_path, path, 4)  # killed mid-first-batch
+    resumed = run_campaign(es_spec, path, workers=1)
+    assert stats_bytes(resumed) == stats_bytes(serial)
+    assert resumed.progress["trials_run"] == 6

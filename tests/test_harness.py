@@ -35,6 +35,23 @@ def test_baseline_run_cached(sum_loop):
     assert baseline_run(sum_loop) is baseline_run(sum_loop)
 
 
+def test_baseline_cache_keys_on_config_values(sum_loop):
+    """The cache must key on what a config *is*, not its object id: a
+    dead config's id can be recycled and hand a different machine a
+    stale baseline."""
+    from repro.core.config import CoreConfig, SystemConfig
+    narrow = dict(fetch_width=1, dispatch_width=1, issue_width=1,
+                  commit_width=1)
+    default_res = baseline_run(sum_loop)
+    slow_res = baseline_run(sum_loop, SystemConfig(core=CoreConfig(**narrow)))
+    assert slow_res.cycles > default_res.cycles
+    # an equal-valued config is a hit even though its id differs...
+    assert baseline_run(
+        sum_loop, SystemConfig(core=CoreConfig(**narrow))) is slow_res
+    # ...and the default-config entry was never clobbered
+    assert baseline_run(sum_loop) is default_res
+
+
 def test_compare_schemes_metrics(sum_loop):
     cmp = compare_schemes(sum_loop)
     assert cmp.baseline.cycles <= cmp.unsync.cycles * 1.5

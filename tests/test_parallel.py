@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.harness.parallel import JobSpec, run_grid
+from repro.harness import parallel
+from repro.harness.parallel import GridJobError, JobSpec, run_grid
 
 
 def small_jobs():
@@ -46,6 +47,35 @@ def test_cb_entries_job():
     assert tiny.extra["cb_full_stalls"] > big.extra["cb_full_stalls"]
 
 
-def test_bad_benchmark_raises():
-    with pytest.raises(KeyError):
-        run_grid([JobSpec(scheme="baseline", benchmark="nope")], workers=1)
+def test_bad_benchmark_raises_with_spec_attached():
+    job = JobSpec(scheme="baseline", benchmark="nope")
+    with pytest.raises(GridJobError) as exc:
+        run_grid([job], workers=1)
+    assert exc.value.spec == job
+    assert isinstance(exc.value.cause, KeyError)
+
+
+def test_bad_benchmark_raises_in_pool_too():
+    jobs = [JobSpec(scheme="baseline", benchmark="sha"),
+            JobSpec(scheme="baseline", benchmark="nope")]
+    with pytest.raises(GridJobError) as exc:
+        run_grid(jobs, workers=2)
+    assert exc.value.spec == jobs[1]
+
+
+def test_transient_failure_is_retried_once(monkeypatch):
+    real_run_one = parallel._run_one
+    attempts = {}
+
+    def flaky(spec):
+        attempts[spec.benchmark] = attempts.get(spec.benchmark, 0) + 1
+        if spec.benchmark == "gzip" and attempts["gzip"] == 1:
+            raise OSError("transient worker death")
+        return real_run_one(spec)
+
+    monkeypatch.setattr(parallel, "_run_one", flaky)
+    jobs = [JobSpec(scheme="baseline", benchmark=b)
+            for b in ("sha", "gzip")]
+    results = run_grid(jobs, workers=1)
+    assert [r.spec.benchmark for r in results] == ["sha", "gzip"]
+    assert attempts["gzip"] == 2  # failed once, retried, succeeded
