@@ -20,6 +20,50 @@ from repro.faults.events import Outcome
 OUTCOME_KEYS: Tuple[str, ...] = tuple(o.value for o in Outcome)
 
 
+class _TrialContext:
+    """Per-worker memo of assembled programs and golden reference runs.
+
+    A pool worker receives many trials for the same handful of workloads;
+    assembling a kernel from source on every ``load_workload`` call (and
+    re-interpreting it for any golden-reference consumer) was measurable
+    against trials that simulate only a few thousand instructions. The
+    context lives at module level, so it persists for the lifetime of the
+    worker process, and programs are immutable (``Instruction`` is frozen)
+    so sharing one instance across trials is safe.
+    """
+
+    __slots__ = ("programs", "goldens")
+
+    def __init__(self) -> None:
+        self.programs: Dict[str, object] = {}
+        self.goldens: Dict[str, object] = {}
+
+    def program(self, workload: str):
+        """The assembled :class:`~repro.isa.program.Program` (memoized)."""
+        prog = self.programs.get(workload)
+        if prog is None:
+            from repro.workloads import load_workload
+            prog = self.programs[workload] = load_workload(workload)
+        return prog
+
+    def golden(self, workload: str):
+        """The fault-free golden run of ``workload`` (memoized)."""
+        res = self.goldens.get(workload)
+        if res is None:
+            from repro.isa import golden
+            res = self.goldens[workload] = golden.run(
+                self.program(workload), max_instructions=2_000_000)
+        return res
+
+    def clear(self) -> None:
+        self.programs.clear()
+        self.goldens.clear()
+
+
+#: the worker-process-wide context ``run_trial`` pulls programs from
+CONTEXT = _TrialContext()
+
+
 @dataclass(frozen=True)
 class TrialResult:
     """Everything one trial contributes to the campaign aggregate.
@@ -101,9 +145,8 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     """
     from repro.faults.injector import FaultInjector
     from repro.harness.runner import run_scheme
-    from repro.workloads import load_workload
 
-    program = load_workload(trial.workload)
+    program = CONTEXT.program(trial.workload)
     injector = FaultInjector(trial.ser, seed=trial.seed)
     res = run_scheme(trial.scheme, program, injector=injector)
     outcomes = Counter(e.outcome.value for e in res.fault_events

@@ -18,7 +18,7 @@ from repro.isa.golden import ArchState
 def _copy_state(state: ArchState) -> ArchState:
     new = ArchState()
     new.regs = list(state.regs)
-    new.mem = dict(state.mem)
+    new.mem = state.mem.copy()
     new.pc = state.pc
     return new
 
@@ -67,7 +67,12 @@ class CheckpointStore:
         return True
 
     def capture(self, seq: int, cycle: int, state: ArchState) -> Checkpoint:
-        """Snapshot ``state``; cost = registers + memory delta."""
+        """Snapshot ``state``; cost = registers + memory delta.
+
+        The delta counts every memory byte whose *value* differs from the
+        previous checkpoint (content diff over the normalised nonzero
+        view — rewriting a byte with its existing value is free).
+        """
         if self.full:
             raise RuntimeError("capture into full checkpoint store")
         prev_mem = self._stack[-1].state.mem if self._stack else {}

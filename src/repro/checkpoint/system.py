@@ -124,6 +124,10 @@ class CheckpointSystem(DualCoreSystem):
         # base checkpoint: the initial state
         self.store.capture(0, 0, self.pipelines[0].committed_state)
         if self.injector is not None:
+            # Injected runs must keep the commit-time image an independent
+            # re-execution, never a replay of fetch-time records.
+            for p in self.pipelines:
+                p.commit_replay = "always"
             self._arm_next_strike(0)
 
     def make_gate(self, core_id: int) -> CommitGate:

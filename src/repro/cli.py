@@ -294,6 +294,42 @@ def _cmd_config_dump(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.harness.bench import (
+        check_regression, load_report, run_bench, write_report,
+    )
+    results = run_bench(scenarios=args.scenarios or None, quick=args.quick,
+                        repeat=args.repeat)
+    rows = [(r.scenario, r.instructions, r.cycles,
+             f"{r.seconds:.3f}", f"{r.instr_per_sec:,.0f}",
+             f"{r.cycles_per_sec:,.0f}") for r in results]
+    print(format_table(
+        ["scenario", "instructions", "cycles", "seconds",
+         "instr/sec", "cycles/sec"],
+        rows, title="Simulator throughput"
+        + (" (quick)" if args.quick else "")))
+    report = write_report(results, args.out, quick=args.quick)
+    print(f"wrote {args.out}")
+    if args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except FileNotFoundError:
+            raise SystemExit(f"error: no baseline report at {args.baseline!r}")
+        failures = check_regression(report, baseline,
+                                    max_regression=args.max_regression,
+                                    absolute=args.absolute)
+        mode = "absolute" if args.absolute else "relative-to-golden"
+        if failures:
+            for f in failures:
+                print(f"REGRESSION {f}", file=sys.stderr)
+            raise SystemExit(
+                f"error: {len(failures)} scenario(s) regressed beyond "
+                f"{100 * args.max_regression:.0f}% ({mode} check)")
+        print(f"regression check vs {args.baseline}: ok ({mode}, "
+              f"<= {100 * args.max_regression:.0f}% allowed)")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from repro.core.trace import PipelineTracer, render_timeline
     from repro.redundancy.pair import BaselineSystem
@@ -539,6 +575,28 @@ def build_parser() -> argparse.ArgumentParser:
                                            "running anything")
     _campaign_common(cp)
     cp.set_defaults(fn=_cmd_campaign_summarize)
+
+    p = sub.add_parser("bench", help="measure simulator throughput and "
+                                     "write BENCH_pipeline.json")
+    p.add_argument("--scenarios", nargs="*", default=None,
+                   help="subset of scenarios (default: all)")
+    p.add_argument("--quick", action="store_true",
+                   help="small workloads, single repeat (CI smoke)")
+    p.add_argument("--repeat", type=int, default=None,
+                   help="timed repeats per scenario, best-of (default: "
+                        "3, or 1 with --quick)")
+    p.add_argument("--out", default="BENCH_pipeline.json", metavar="FILE",
+                   help="report path (default: BENCH_pipeline.json)")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="committed bench report to regression-check "
+                        "against; non-zero exit on failure")
+    p.add_argument("--max-regression", type=float, default=0.25,
+                   metavar="FRAC", help="allowed throughput drop vs the "
+                                        "baseline (default 0.25)")
+    p.add_argument("--absolute", action="store_true",
+                   help="compare raw instr/sec instead of the "
+                        "golden-normalised index (same-machine runs only)")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("trace", help="pipeline diagram for a workload's "
                                      "first N instructions")

@@ -64,19 +64,26 @@ class LSQ:
 
     def forwarding_store(self, load: ROBEntry) -> Optional[ROBEntry]:
         """Youngest older store whose access overlaps ``load``'s bytes."""
-        if load.mem_addr is None:
-            return None
         lo = load.mem_addr
+        if lo is None:
+            return None
         hi = lo + load.ins.mem_width
+        load_seq = load.seq
         best: Optional[ROBEntry] = None
+        best_seq = -1
         for e in self._entries:
-            if e.seq >= load.seq or not e.is_store or e.mem_addr is None:
+            seq = e.seq
+            if seq >= load_seq or seq <= best_seq:
+                continue
+            ins = e.ins
+            if not ins.is_store:
                 continue
             s_lo = e.mem_addr
-            s_hi = s_lo + e.ins.mem_width
-            if s_lo < hi and lo < s_hi:
-                if best is None or e.seq > best.seq:
-                    best = e
+            if s_lo is None:
+                continue
+            if s_lo < hi and lo < s_lo + ins.mem_width:
+                best = e
+                best_seq = seq
         if best is not None:
             self.forwards += 1
         return best

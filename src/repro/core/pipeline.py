@@ -25,14 +25,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from heapq import heappop, heappush
+from operator import attrgetter
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.branch import BimodalPredictor
 from repro.core.config import CoreConfig
 from repro.core.iq import IssueQueue
 from repro.core.lsq import LSQ
 from repro.core.rob import ROB, ROBEntry, EntryState
-from repro.isa.golden import ArchState, StepInfo, step_state
+from repro.isa.golden import ArchState, STEP_DISPATCH, StepInfo, step_state
 from repro.isa.instructions import InstrClass, Instruction, Opcode
 from repro.isa.program import Program
 from repro.mem.hierarchy import MemPort
@@ -89,13 +91,16 @@ class PipelineStats:
         return self.committed / self.cycles if self.cycles else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Fetched:
     """Fetch-buffer slot: a fetched instruction plus its oracle record."""
 
     seq: int
     info: StepInfo
     fetch_done: int
+
+
+_seq_key = attrgetter("seq")
 
 
 class Pipeline:
@@ -106,12 +111,36 @@ class Pipeline:
                  config: CoreConfig,
                  memport: MemPort,
                  gate: Optional[CommitGate] = None,
-                 name: str = "core0") -> None:
+                 name: str = "core0",
+                 commit_replay: str = "reuse",
+                 crosscheck_interval: int = 64) -> None:
         self.program = program
         self.config = config
         self.mem = memport
         self.gate = gate or NullGate()
         self.name = name
+        #: "reuse" applies the fetch-time oracle record at commit (with a
+        #: periodic full re-execution cross-check); "always" re-executes
+        #: every instruction at commit — mandatory under fault injection,
+        #: where the two images must stay independent.
+        self.commit_replay = commit_replay
+        self.crosscheck_interval = crosscheck_interval
+        self._crosscheck_countdown = crosscheck_interval
+        # Bind overridden gate hooks once; None means "default no-op" and
+        # lets the per-instruction stage loops skip the call entirely
+        # (the baseline/UnSync gates override only the commit hooks).
+        gcls = type(self.gate)
+        g = self.gate
+        self._g_dispatch_allowed = (
+            g.dispatch_allowed
+            if gcls.dispatch_allowed is not CommitGate.dispatch_allowed
+            else None)
+        self._g_on_dispatch = (
+            g.on_dispatch
+            if gcls.on_dispatch is not CommitGate.on_dispatch else None)
+        self._g_on_complete = (
+            g.on_complete
+            if gcls.on_complete is not CommitGate.on_complete else None)
 
         # oracle (fetch-time) and architectural (commit-time) state
         self.oracle = ArchState()
@@ -140,13 +169,38 @@ class Pipeline:
         self._reg_producer: Dict[int, int] = {}
         #: divider busy-until cycle (unpipelined unit)
         self._div_free_at = 0
+        #: issued entries awaiting writeback, keyed by completion cycle
+        self._wb_heap: List[Tuple[int, int, ROBEntry]] = []
+        #: completed-execution entries the gate has not yet admitted,
+        #: kept in seq (= ROB age) order
+        self._wb_ready: List[ROBEntry] = []
         #: external stall (recovery freeze): no stage runs before this cycle
         self.frozen_until = 0
         #: optional PipelineTracer (see repro.core.trace); None = no cost
         self.tracer = None
 
+        # fetch-group geometry and core widths, hoisted out of the
+        # per-cycle loops (both configs are immutable after construction)
+        self._iline_bytes = self.mem.icache.config.line_bytes
+        self._ifetch_hit = self.mem.icache.config.hit_latency
+        self._fetch_width = config.fetch_width
+        self._dispatch_width = config.dispatch_width
+        self._issue_width = config.issue_width
+        self._commit_width = config.commit_width
+
         self.stats = PipelineStats()
         self.done = False
+
+    @property
+    def commit_replay(self) -> str:
+        return "always" if self._replay_always else "reuse"
+
+    @commit_replay.setter
+    def commit_replay(self, mode: str) -> None:
+        if mode not in ("reuse", "always"):
+            raise ValueError(
+                f"commit_replay must be 'reuse' or 'always', got {mode!r}")
+        self._replay_always = mode == "always"
 
     # ------------------------------------------------------------------
     # public stepping
@@ -156,9 +210,17 @@ class Pipeline:
         if self.done:
             return
         self.stats.cycles += 1
-        self.rob.sample_occupancy()
-        self.iq.sample_occupancy()
-        self.lsq.sample_occupancy()
+        # inlined {rob,iq,lsq}.sample_occupancy() — this runs every cycle
+        # of every core, so the three method calls are worth eliding
+        rob = self.rob
+        rob.occupancy_samples += 1
+        rob.occupancy_sum += len(rob._entries)
+        iq = self.iq
+        iq.occupancy_samples += 1
+        iq.occupancy_sum += len(iq._entries)
+        lsq = self.lsq
+        lsq.occupancy_samples += 1
+        lsq.occupancy_sum += len(lsq._entries)
         if now < self.frozen_until:
             return
         self._commit(now)
@@ -171,78 +233,161 @@ class Pipeline:
     # stages (reverse order)
     # ------------------------------------------------------------------
     def _commit(self, now: int) -> None:
-        width = self.config.commit_width
-        for _ in range(width):
-            head = self.rob.head()
-            if head is None:
+        # cheap head probe before any local binding: most cycles nothing
+        # is ready to retire and this stage must cost almost nothing.
+        entries = self.rob._entries
+        if not entries:
+            return
+        COMPLETED = EntryState.COMPLETED
+        head = entries[0]
+        if head.state is not COMPLETED or head.complete_cycle >= now:
+            return
+        gate = self.gate
+        stats = self.stats
+        tracer = self.tracer
+        inflight = self._inflight
+        reg_producer = self._reg_producer
+        lsq = self.lsq
+        store_latency = self.mem.store_latency
+        for _ in range(self._commit_width):
+            if not gate.can_commit(head, now):
+                stats.commit_stall_gate += 1
                 return
-            if head.state is not EntryState.COMPLETED or head.complete_cycle >= now:
-                return
-            if not self.gate.can_commit(head, now):
-                self.stats.commit_stall_gate += 1
-                return
-            self.rob.pop()
-            if self.tracer is not None:
-                self.tracer.commit(head.seq, now)
-            del self._inflight[head.seq]
-            if self._reg_producer.get(head.ins.rd) == head.seq:
-                # producer leaves flight; later readers find the ARF value
-                del self._reg_producer[head.ins.rd]
-            # architectural replay (exact semantics, second image)
+            entries.popleft()
+            if tracer is not None:
+                tracer.commit(head.seq, now)
+            del inflight[head.seq]
             ins = head.ins
+            if reg_producer.get(ins.rd) == head.seq:
+                # producer leaves flight; later readers find the ARF value
+                del reg_producer[ins.rd]
+            # architectural replay (exact semantics, second image)
             if ins.op is Opcode.HALT:
                 self.done = True
-                self.gate.on_commit(head, now)
+                gate.on_commit(head, now)
                 return
-            info = step_state(self.committed_state, ins)
-            if head.is_store:
+            if self._replay_always:
+                mem_addr = step_state(self.committed_state, ins).mem_addr
+            else:
+                self._crosscheck_countdown -= 1
+                if self._crosscheck_countdown <= 0:
+                    self._crosscheck_countdown = self.crosscheck_interval
+                    info = step_state(self.committed_state, ins)
+                    self._crosscheck(head, info)
+                    mem_addr = info.mem_addr
+                else:
+                    mem_addr = self._apply_recorded(head)
+            is_store = ins.is_store
+            is_load = ins.is_load
+            if is_store:
                 # write-through L1 write at retirement; latency is absorbed
                 # by the store path (write buffer / CB), not commit.
-                self.mem.store_latency(info.mem_addr, now)
-                self.stats.stores_committed += 1
-            if head.is_load:
-                self.stats.loads_committed += 1
+                store_latency(mem_addr, now)
+                stats.stores_committed += 1
+            if is_load:
+                stats.loads_committed += 1
             if ins.is_serializing:
-                self.stats.serializing_committed += 1
-            if head.is_load or head.is_store:
-                self.lsq.remove(head)
-            self.stats.committed += 1
-            self.gate.on_commit(head, now)
+                stats.serializing_committed += 1
+            if is_load or is_store:
+                lsq.remove(head)
+            stats.committed += 1
+            gate.on_commit(head, now)
+            if not entries:
+                return
+            head = entries[0]
+            if head.state is not COMPLETED or head.complete_cycle >= now:
+                return
+
+    def _apply_recorded(self, entry: ROBEntry) -> Optional[int]:
+        """Advance the architectural image from the oracle record captured
+        at fetch, instead of re-executing the instruction.
+
+        Valid only while the two images are known-identical; any system
+        that arms a fault injector forces ``commit_replay="always"`` so
+        the commit-time image stays an independent re-execution.
+        """
+        st = self.committed_state
+        ins = entry.ins
+        if entry.result is not None:
+            rd = ins.rd
+            if rd:
+                st.regs[rd] = entry.result
+        if entry.store_value is not None:
+            st.mem.write(entry.mem_addr, entry.store_value, ins.mem_width)
+        st.pc = entry.branch_target
+        return entry.mem_addr
+
+    def _crosscheck(self, entry: ROBEntry, info: StepInfo) -> None:
+        """Compare a commit-time re-execution against the fetch-time
+        record (periodic safety net for the ``reuse`` fast path)."""
+        if (info.result != entry.result
+                or info.mem_addr != entry.mem_addr
+                or info.store_value != entry.store_value
+                or info.next_pc != entry.branch_target
+                or info.taken != entry.branch_taken):
+            raise RuntimeError(
+                f"{self.name}: commit replay diverged from fetch-time "
+                f"oracle at seq={entry.seq} pc={entry.pc:#x} ({entry.ins})")
 
     def _writeback(self, now: int) -> None:
         # transition finished executions to COMPLETED, subject to the
-        # gate's post-execute buffer (CSB) admission.
-        for entry in self.rob:
-            if entry.state is EntryState.ISSUED and entry.complete_cycle <= now:
-                if self.gate.on_complete(entry, now):
-                    entry.state = EntryState.COMPLETED
-                    if self.tracer is not None:
-                        self.tracer.complete(entry.seq, entry.complete_cycle)
-                else:
-                    self.stats.writeback_stall_gate += 1
-
-    def _ready(self, entry: ROBEntry, now: int) -> bool:
-        for dep_seq in entry.deps:
-            producer = self._inflight.get(dep_seq)
-            if producer is None:
-                continue  # already committed
-            if producer.complete_cycle < 0 or producer.complete_cycle > now:
-                return False
-            if producer.state is EntryState.DISPATCHED:
-                return False
-        return True
+        # gate's post-execute buffer (CSB) admission. The ready set is
+        # maintained incrementally (heap keyed on completion cycle) so
+        # this stage is O(entries completing) rather than a full ROB scan
+        # every cycle; gate-refused entries stay in _wb_ready and retry.
+        heap = self._wb_heap
+        ready = self._wb_ready
+        if heap and heap[0][0] <= now:
+            while heap and heap[0][0] <= now:
+                ready.append(heappop(heap)[2])
+            if len(ready) > 1:
+                ready.sort(key=_seq_key)  # preserve ROB-age order
+        if not ready:
+            return
+        on_complete = self._g_on_complete
+        tracer = self.tracer
+        COMPLETED = EntryState.COMPLETED
+        if on_complete is None:
+            # no gate: everything ready completes this cycle
+            for entry in ready:
+                entry.state = COMPLETED
+                if tracer is not None:
+                    tracer.complete(entry.seq, entry.complete_cycle)
+            ready.clear()
+            return
+        still: List[ROBEntry] = []
+        for entry in ready:
+            if on_complete(entry, now):
+                entry.state = COMPLETED
+                if tracer is not None:
+                    tracer.complete(entry.seq, entry.complete_cycle)
+            else:
+                self.stats.writeback_stall_gate += 1
+                still.append(entry)
+        self._wb_ready = still
 
     def _issue(self, now: int) -> None:
+        iq_entries = self.iq._entries
+        if not iq_entries:
+            return
         cfg = self.config
         alu_left = cfg.n_alu
         mul_left = cfg.n_mul
         mem_left = cfg.n_mem_ports
-        width_left = cfg.issue_width
+        width_left = self._issue_width
+        tracer = self.tracer
+        wb_heap = self._wb_heap
+        forwarding_store = self.lsq.forwarding_store
+        mem_load_latency = self.mem.load_latency
+        ISSUED = EntryState.ISSUED
         issued: List[ROBEntry] = []
-        for entry in self.iq:
+        for entry in iq_entries:
             if width_left == 0:
                 break
-            if not self._ready(entry, now):
+            # event-driven wake-up: pending counts producers that have not
+            # issued (they decrement it when they do), ready_at is the
+            # latest producer broadcast cycle folded in at dispatch/wake.
+            if entry.pending or entry.ready_at > now:
                 continue
             ins = entry.ins
             cls = ins.iclass
@@ -267,11 +412,11 @@ class Pipeline:
                 if mem_left == 0:
                     continue
                 mem_left -= 1
-                fwd = self.lsq.forwarding_store(entry)
+                fwd = forwarding_store(entry)
                 if fwd is not None:
                     latency = 1
                 else:
-                    latency = self.mem.load_latency(entry.mem_addr, now)
+                    latency = mem_load_latency(entry.mem_addr, now)
             elif cls is InstrClass.STORE:
                 # address generation only; the write happens at commit
                 if mem_left == 0:
@@ -287,63 +432,113 @@ class Pipeline:
                     if mem_left == 0:
                         continue
                     mem_left -= 1
-                    latency = self.mem.load_latency(entry.mem_addr, now)
+                    latency = mem_load_latency(entry.mem_addr, now)
                 else:
                     latency = cfg.alu_latency
             else:  # pragma: no cover - exhaustive
                 raise AssertionError(f"unhandled class {cls}")
 
-            entry.state = EntryState.ISSUED
-            entry.complete_cycle = now + latency
-            if self.tracer is not None:
-                self.tracer.issue(entry.seq, now)
+            entry.state = ISSUED
+            cc = now + latency
+            entry.complete_cycle = cc
+            waiters = entry.waiters
+            if waiters is not None:
+                for dep in waiters:
+                    dep.pending -= 1
+                    if cc > dep.ready_at:
+                        dep.ready_at = cc
+                entry.waiters = None
+            heappush(wb_heap, (cc, entry.seq, entry))
+            if tracer is not None:
+                tracer.issue(entry.seq, now)
             issued.append(entry)
             width_left -= 1
         for entry in issued:
-            self.iq.remove(entry)
+            iq_entries.remove(entry)
 
     def _dispatch(self, now: int) -> None:
-        for _ in range(self.config.dispatch_width):
-            if not self._fetch_buffer:
+        buf = self._fetch_buffer
+        if not buf or buf[0].fetch_done > now:
+            return
+        rob = self.rob
+        iq = self.iq
+        lsq = self.lsq
+        rob_entries = rob._entries
+        rob_cap = rob.capacity
+        iq_entries = iq._entries
+        iq_cap = iq.capacity
+        lsq_entries = lsq._entries
+        lsq_cap = lsq.capacity
+        stats = self.stats
+        tracer = self.tracer
+        inflight = self._inflight
+        reg_producer = self._reg_producer
+        dispatch_allowed = self._g_dispatch_allowed
+        on_dispatch = self._g_on_dispatch
+        for _ in range(self._dispatch_width):
+            if not buf:
                 return
-            slot = self._fetch_buffer[0]
+            slot = buf[0]
             if slot.fetch_done > now:
                 return
-            if not self.gate.dispatch_allowed(now):
-                self.stats.dispatch_stall_gate += 1
+            if dispatch_allowed is not None and not dispatch_allowed(now):
+                stats.dispatch_stall_gate += 1
                 return
-            ins = slot.info.ins
-            if self.rob.full:
-                self.stats.dispatch_stall_rob += 1
+            info = slot.info
+            ins = info.ins
+            if len(rob_entries) >= rob_cap:
+                stats.dispatch_stall_rob += 1
                 return
-            if self.iq.full:
-                self.stats.dispatch_stall_iq += 1
+            if len(iq_entries) >= iq_cap:
+                stats.dispatch_stall_iq += 1
                 return
             is_mem = ins.is_mem
-            if is_mem and self.lsq.full:
-                self.stats.dispatch_stall_lsq += 1
+            if is_mem and len(lsq_entries) >= lsq_cap:
+                stats.dispatch_stall_lsq += 1
                 return
-            self._fetch_buffer.popleft()
+            buf.popleft()
 
-            entry = ROBEntry(seq=slot.seq, ins=ins, pc=slot.info.pc)
-            entry.result = slot.info.result
-            entry.mem_addr = slot.info.mem_addr
-            entry.store_value = slot.info.store_value
-            entry.branch_taken = slot.info.taken
-            entry.branch_target = slot.info.next_pc
-            entry.deps = tuple(
-                self._reg_producer[r] for r in ins.src_regs()
-                if r != 0 and r in self._reg_producer)
-            self.rob.push(entry)
-            if self.tracer is not None:
-                self.tracer.dispatch(entry.seq, now)
-            self._inflight[entry.seq] = entry
-            self.iq.push(entry)
+            entry = ROBEntry(slot.seq, ins, info.pc,
+                             result=info.result,
+                             mem_addr=info.mem_addr,
+                             store_value=info.store_value,
+                             branch_taken=info.taken,
+                             branch_target=info.next_pc)
+            srcs = ins.srcs
+            if srcs:
+                # register the entry with each in-flight producer: not-yet-
+                # issued producers get a waiter link (they wake us when they
+                # issue); already-issued producers just contribute their
+                # broadcast cycle. reg_producer never maps r0 and drops
+                # committed producers, so every hit is live in _inflight.
+                ready_at = 0
+                for r in srcs:
+                    prod_seq = reg_producer.get(r)
+                    if prod_seq is None:
+                        continue
+                    producer = inflight[prod_seq]
+                    cc = producer.complete_cycle
+                    if cc < 0:
+                        entry.pending += 1
+                        w = producer.waiters
+                        if w is None:
+                            producer.waiters = [entry]
+                        else:
+                            w.append(entry)
+                    elif cc > ready_at:
+                        ready_at = cc
+                entry.ready_at = ready_at
+            rob_entries.append(entry)
+            if tracer is not None:
+                tracer.dispatch(entry.seq, now)
+            inflight[entry.seq] = entry
+            iq_entries.append(entry)
             if is_mem:
-                self.lsq.push(entry)
+                lsq_entries.append(entry)
             if ins.writes_reg and ins.rd != 0:
-                self._reg_producer[ins.rd] = entry.seq
-            self.gate.on_dispatch(entry, now)
+                reg_producer[ins.rd] = entry.seq
+            if on_dispatch is not None:
+                on_dispatch(entry, now)
 
     def _fetch(self, now: int) -> None:
         if self._halt_fetched or now < self._fetch_ready_at:
@@ -364,42 +559,48 @@ class Pipeline:
                 return
             else:
                 return
-        if len(self._fetch_buffer) + self.config.fetch_width > self._fetch_buffer_cap:
+        if len(self._fetch_buffer) + self._fetch_width > self._fetch_buffer_cap:
             return
 
-        pc = self.oracle.pc
+        oracle = self.oracle
+        pc = oracle.pc
         latency = self.mem.ifetch_latency(pc, now)
         fetch_done = now + latency
         # pipelined fetch: the next group may start next cycle on a hit,
         # or after the miss resolves.
-        hit = self.mem.icache.config.hit_latency
-        self._fetch_ready_at = now + 1 + max(0, latency - hit)
+        self._fetch_ready_at = now + 1 + max(0, latency - self._ifetch_hit)
 
-        for _ in range(self.config.fetch_width):
-            ins = self.program.fetch(self.oracle.pc)
+        buf = self._fetch_buffer
+        instrs = self.program.instructions
+        n_instr = len(instrs)
+        step_dispatch = STEP_DISPATCH
+        tracer = self.tracer
+        line_bytes = self._iline_bytes
+        group_line = pc // line_bytes
+        for _ in range(self._fetch_width):
+            idx = oracle.pc >> 2
+            ins = instrs[idx] if 0 <= idx < n_instr else None
             if ins is None:
                 ins = Instruction(Opcode.HALT)
             if ins.op is Opcode.HALT:
-                info = StepInfo(ins=ins, pc=self.oracle.pc,
-                                next_pc=self.oracle.pc, is_halt=True)
-                self._fetch_buffer.append(
-                    _Fetched(self._next_seq, info, fetch_done))
+                info = StepInfo(ins=ins, pc=oracle.pc,
+                                next_pc=oracle.pc, is_halt=True)
+                buf.append(_Fetched(self._next_seq, info, fetch_done))
                 self._halt_seq = self._next_seq
                 self._next_seq += 1
                 self._halt_fetched = True
                 return
             seq = self._next_seq
             self._next_seq += 1
-            info = step_state(self.oracle, ins)
-            if self.tracer is not None:
-                self.tracer.fetch(seq, info.pc, ins, fetch_done)
-            self._fetch_buffer.append(_Fetched(seq, info, fetch_done))
+            info = step_dispatch[ins.op](oracle, ins)
+            if tracer is not None:
+                tracer.fetch(seq, info.pc, ins, fetch_done)
+            buf.append(_Fetched(seq, info, fetch_done))
             if ins.is_branch:
                 if not self._handle_branch_fetch(seq, info, fetch_done):
                     return  # fetch group ends; possibly blocked
             # group also ends when the next pc leaves this line
-            if (info.next_pc // self.mem.icache.config.line_bytes
-                    != pc // self.mem.icache.config.line_bytes):
+            if info.next_pc // line_bytes != group_line:
                 return
 
     def _handle_branch_fetch(self, seq: int, info: StepInfo,
@@ -446,6 +647,8 @@ class Pipeline:
         n = self.rob.flush()
         self.iq.flush()
         self.lsq.flush()
+        self._wb_heap.clear()
+        self._wb_ready.clear()
         self._fetch_buffer.clear()
         self._inflight.clear()
         self._reg_producer.clear()
@@ -491,6 +694,6 @@ class Pipeline:
 def _copy_state(state: ArchState) -> ArchState:
     new = ArchState()
     new.regs = list(state.regs)
-    new.mem = dict(state.mem)
+    new.mem = state.mem.copy()
     new.pc = state.pc
     return new

@@ -22,18 +22,33 @@ class EntryState(enum.Enum):
     COMPLETED = "completed"     # result broadcast; waiting to commit
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class ROBEntry:
-    """One in-flight instruction."""
+    """One in-flight instruction.
+
+    ``slots=True``: one of these is allocated per dynamic instruction and
+    threaded through IQ/LSQ/ROB/writeback, so the per-instance dict is
+    measurable overhead at campaign scale. ``eq=False``: entries are
+    compared (and removed from the IQ/LSQ) by identity — two distinct
+    in-flight instructions are never "equal", and field-wise comparison
+    made ``list.remove`` a hot spot.
+    """
 
     seq: int                    # global dynamic sequence number
     ins: Instruction
     pc: int
     state: EntryState = EntryState.DISPATCHED
-    #: cycle at which operands are all available (set at dispatch)
-    ready_cycle: int = 0
     #: cycle at which execution finishes (set at issue)
     complete_cycle: int = -1
+    #: wake-up bookkeeping: number of producers that have not issued yet
+    #: (decremented by the producer when it issues), and the earliest
+    #: cycle by which every issued producer has broadcast its result.
+    #: The entry may issue once ``pending == 0 and ready_at <= now``.
+    pending: int = 0
+    ready_at: int = 0
+    #: consumers to notify when this entry issues (lazily allocated;
+    #: entries of one pipeline only, so a flush drops both sides at once)
+    waiters: Optional[list] = None
     #: functional results, filled at dispatch (eager execution)
     result: Optional[int] = None
     mem_addr: Optional[int] = None
@@ -43,8 +58,6 @@ class ROBEntry:
     mispredicted: bool = False
     #: Reunion: index of the fingerprint group this entry belongs to
     fp_group: int = -1
-    #: sequence numbers of in-flight producers this entry waits on
-    deps: tuple = ()
 
     @property
     def is_store(self) -> bool:

@@ -1,0 +1,232 @@
+"""Simulator-throughput benchmark harness (``repro bench``).
+
+The paper's evaluation is thousands of seeded injection runs, so the
+figure-of-merit for the *reproduction* itself is simulator throughput:
+how many simulated instructions and cycles per wall-clock second each
+layer of the stack sustains. This module runs a fixed set of seeded
+scenarios — the golden interpreter, the out-of-order baseline core, the
+UnSync and Reunion pairs, and a serial campaign smoke — and writes the
+measurements to ``BENCH_pipeline.json`` at the repo root so the perf
+trajectory accumulates across PRs.
+
+Every scenario is deterministic (fixed workloads, fixed seeds); only the
+wall-clock varies. Regression checking therefore supports two modes:
+
+* **relative** (default): each scenario's throughput is normalised by
+  the golden-interpreter throughput measured *in the same run*, which
+  cancels machine speed and makes the check meaningful on CI runners of
+  unknown horsepower;
+* **absolute**: raw instr/sec comparison, for before/after runs on the
+  same machine (the numbers quoted in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: schema version of BENCH_pipeline.json
+SCHEMA = 1
+
+#: scenario used as the machine-speed yardstick in relative checks
+REFERENCE_SCENARIO = "golden"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One scenario's measurement (best of ``repeats`` runs)."""
+
+    scenario: str
+    instructions: int
+    cycles: int
+    seconds: float
+    repeats: int
+
+    @property
+    def instr_per_sec(self) -> float:
+        return self.instructions / self.seconds if self.seconds else 0.0
+
+    @property
+    def cycles_per_sec(self) -> float:
+        return self.cycles / self.seconds if self.seconds else 0.0
+
+    def to_record(self) -> Dict:
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "seconds": round(self.seconds, 6),
+            "repeats": self.repeats,
+            "instr_per_sec": round(self.instr_per_sec, 1),
+            "cycles_per_sec": round(self.cycles_per_sec, 1),
+        }
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+def _sc_golden(quick: bool) -> Callable[[], Tuple[int, int]]:
+    from repro.isa import golden
+    from repro.workloads import load_workload
+    program = load_workload("fibonacci" if quick else "bzip2")
+
+    def run() -> Tuple[int, int]:
+        res = golden.run(program, max_instructions=2_000_000)
+        return res.instructions, 0
+    return run
+
+
+def _sc_baseline(quick: bool) -> Callable[[], Tuple[int, int]]:
+    from repro.core import Core
+    from repro.workloads import load_workload
+    program = load_workload("fibonacci" if quick else "bzip2")
+
+    def run() -> Tuple[int, int]:
+        res = Core(program).run(max_cycles=4_000_000)
+        return res.instructions, res.cycles
+    return run
+
+
+def _sc_pair(scheme: str, quick: bool) -> Callable[[], Tuple[int, int]]:
+    from repro.harness.runner import run_scheme
+    from repro.workloads import load_workload
+    program = load_workload("fibonacci" if quick else "bzip2")
+
+    def run() -> Tuple[int, int]:
+        res = run_scheme(scheme, program)
+        # a pair steps two pipelines per wall-clock cycle; count both so
+        # cycles/sec reflects simulated core-cycles of work
+        return res.instructions, 2 * res.cycles
+    return run
+
+
+def _sc_campaign(quick: bool) -> Callable[[], Tuple[int, int]]:
+    from repro.campaign.spec import TrialSpec
+    from repro.campaign.trial import run_trial
+    trials = 3 if quick else 8
+
+    def run() -> Tuple[int, int]:
+        instructions = cycles = 0
+        for seed in range(trials):
+            spec = TrialSpec(scheme="unsync", workload="fibonacci",
+                             ser=0.005, seed=seed)
+            res = run_trial(spec)
+            instructions += res.instructions
+            cycles += 2 * res.cycles
+        return instructions, cycles
+    return run
+
+
+#: name -> factory(quick) -> zero-arg runner returning (instructions, cycles)
+SCENARIOS: Dict[str, Callable[[bool], Callable[[], Tuple[int, int]]]] = {
+    "golden": _sc_golden,
+    "baseline-core": _sc_baseline,
+    "unsync-pair": lambda quick: _sc_pair("unsync", quick),
+    "reunion-pair": lambda quick: _sc_pair("reunion", quick),
+    "campaign-smoke": _sc_campaign,
+}
+
+
+def run_bench(scenarios: Optional[List[str]] = None,
+              quick: bool = False,
+              repeat: Optional[int] = None) -> List[BenchResult]:
+    """Run the selected scenarios; best-of-``repeat`` wall time each.
+
+    Workload assembly happens inside the factory, *before* the timed
+    region, so the numbers measure simulation throughput only.
+    """
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenario(s) {', '.join(unknown)} "
+                         f"(known: {', '.join(SCENARIOS)})")
+    repeats = repeat if repeat is not None else (1 if quick else 3)
+    results: List[BenchResult] = []
+    for name in names:
+        runner = SCENARIOS[name](quick)
+        best: Optional[Tuple[float, int, int]] = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            instructions, cycles = runner()
+            dt = time.perf_counter() - t0
+            if best is None or dt < best[0]:
+                best = (dt, instructions, cycles)
+        results.append(BenchResult(scenario=name, instructions=best[1],
+                                   cycles=best[2], seconds=best[0],
+                                   repeats=repeats))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# report I/O
+# ---------------------------------------------------------------------------
+def to_report(results: List[BenchResult], quick: bool) -> Dict:
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "scenarios": {r.scenario: r.to_record() for r in results},
+    }
+
+
+def write_report(results: List[BenchResult], path: str,
+                 quick: bool = False) -> Dict:
+    report = to_report(results, quick)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def load_report(path: str) -> Dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    if "scenarios" not in report:
+        raise ValueError(f"{path}: not a bench report (no 'scenarios' key)")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# regression checking
+# ---------------------------------------------------------------------------
+def _relative_index(scenarios: Dict[str, Dict]) -> Dict[str, float]:
+    """Throughput of each scenario as a multiple of the golden
+    interpreter's in the same report (machine-speed independent)."""
+    ref = scenarios.get(REFERENCE_SCENARIO, {}).get("instr_per_sec", 0.0)
+    if not ref:
+        raise ValueError(
+            f"reference scenario {REFERENCE_SCENARIO!r} missing from report; "
+            f"cannot run a relative regression check")
+    return {name: rec["instr_per_sec"] / ref
+            for name, rec in scenarios.items() if name != REFERENCE_SCENARIO}
+
+
+def check_regression(current: Dict, baseline: Dict,
+                     max_regression: float = 0.25,
+                     absolute: bool = False) -> List[str]:
+    """Compare a fresh report against a committed baseline.
+
+    Returns a list of human-readable failures (empty = pass). Scenarios
+    present in only one report are skipped — the committed baseline may
+    trail a newly added scenario by one PR.
+    """
+    failures: List[str] = []
+    cur, base = current["scenarios"], baseline["scenarios"]
+    if absolute:
+        cur_m = {n: r["instr_per_sec"] for n, r in cur.items()}
+        base_m = {n: r["instr_per_sec"] for n, r in base.items()}
+        unit = "instr/sec"
+    else:
+        cur_m, base_m = _relative_index(cur), _relative_index(base)
+        unit = "x golden throughput"
+    for name in sorted(set(cur_m) & set(base_m)):
+        was, now = base_m[name], cur_m[name]
+        if was <= 0:
+            continue
+        drop = 1.0 - now / was
+        if drop > max_regression:
+            failures.append(
+                f"{name}: {now:.3g} {unit} vs baseline {was:.3g} "
+                f"({100 * drop:.1f}% regression > "
+                f"{100 * max_regression:.0f}% allowed)")
+    return failures

@@ -6,15 +6,28 @@ it: for any fault-free run the out-of-order core must produce exactly the
 same architectural register file, memory image, and dynamic instruction
 count as the golden executor. The fault classifiers also diff final state
 against a golden run to label outcomes as masked vs silent data corruption.
+
+This module is the hottest code in the repository — every simulated
+instruction passes through :func:`step_state` at least once (the pipeline
+calls it at fetch, and again at commit when replay cannot be reused) — so
+it is built for speed: memory is paged ``bytearray`` storage
+(:class:`repro.isa.memory.PagedMemory`), instruction semantics dispatch
+through a precomputed per-opcode handler table instead of an if/elif
+chain, and :class:`StepInfo` carries ``__slots__``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.isa.instructions import Instruction, InstrClass, Opcode, REG_COUNT
+from repro.isa.instructions import (
+    ALU_FUNCS, BRANCH_FUNCS, Instruction, Opcode, REG_COUNT,
+)
+from repro.isa.memory import PagedMemory
 from repro.isa.program import Program
+
+_M = 0xFFFFFFFF
 
 
 class ExecutionLimitExceeded(RuntimeError):
@@ -25,39 +38,45 @@ class ExecutionLimitExceeded(RuntimeError):
 class ArchState:
     """Architectural state: registers, memory, PC.
 
-    Memory is a sparse byte dict (the simulated address space is 4 GiB and
-    kernels touch a few KiB of it).
+    Memory is sparse paged storage over the 4 GiB simulated address space
+    (kernels touch a few KiB of it); see :mod:`repro.isa.memory` for the
+    backend protocol. ``read_mem``/``write_mem`` are the stable API —
+    the backend swap from the original per-byte dict is invisible here.
     """
 
     regs: List[int] = field(default_factory=lambda: [0] * REG_COUNT)
-    mem: Dict[int, int] = field(default_factory=dict)
+    mem: PagedMemory = field(default_factory=PagedMemory)
     pc: int = 0
 
     def read_reg(self, r: int) -> int:
         return 0 if r == 0 else self.regs[r]
 
     def write_reg(self, r: int, value: int) -> None:
-        if r != 0:
-            self.regs[r] = value & 0xFFFFFFFF
+        if r:
+            self.regs[r] = value & _M
 
     def read_mem(self, addr: int, width: int) -> int:
-        return sum(self.mem.get((addr + i) & 0xFFFFFFFF, 0) << (8 * i)
-                   for i in range(width))
+        return self.mem.read(addr, width)
 
     def write_mem(self, addr: int, value: int, width: int) -> None:
-        for i in range(width):
-            self.mem[(addr + i) & 0xFFFFFFFF] = (value >> (8 * i)) & 0xFF
+        self.mem.write(addr, value, width)
 
     def load_data(self, program: Program) -> None:
+        mem = self.mem
         for addr, byte in program.data.items():
-            self.mem[addr] = byte
+            mem.write_byte(addr, byte)
 
     def snapshot(self) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int], ...], int]:
-        """Hashable snapshot, used by tests to compare two executions."""
-        return (tuple(self.regs), tuple(sorted(self.mem.items())), self.pc)
+        """Hashable snapshot, used by tests to compare two executions.
+
+        Memory content is normalised (nonzero bytes only), so snapshots
+        are equal across backends and across executions that differ only
+        in explicit zero writes.
+        """
+        return (tuple(self.regs), self.mem.snapshot_items(), self.pc)
 
 
-@dataclass
+@dataclass(slots=True)
 class StepInfo:
     """Side-channel record of one functional step.
 
@@ -80,72 +99,154 @@ class StepInfo:
     is_halt: bool = False
 
 
-def step_state(state: ArchState, ins: Instruction) -> StepInfo:
-    """Advance ``state`` by one instruction; the single source of truth for
-    instruction semantics across every simulator in the package."""
+# ---------------------------------------------------------------------------
+# per-opcode step handlers
+# ---------------------------------------------------------------------------
+# Each handler advances ``state`` by one instruction and returns the
+# StepInfo record; ``step_state`` is a single dict lookup away from the
+# right one. Handlers read ``state.regs``/``state.mem`` directly — r0 is
+# kept hard-zero by every register write path, so reads need no guard.
+def _make_alu(fn: Callable[[int, int], int]):
+    def step(state: ArchState, ins: Instruction) -> StepInfo:
+        regs = state.regs
+        rs1 = ins.rs1
+        a = regs[rs1] if rs1 is not None else 0
+        rs2 = ins.rs2
+        b = regs[rs2] if rs2 is not None else ins.imm
+        result = fn(a, b)
+        rd = ins.rd
+        if rd:
+            regs[rd] = result
+        pc = state.pc
+        state.pc = next_pc = pc + 4
+        return StepInfo(ins, pc, next_pc, result)
+    return step
+
+
+def _make_load(width: int, sign_bit: int, sign_ext: int):
+    def step(state: ArchState, ins: Instruction) -> StepInfo:
+        regs = state.regs
+        addr = (regs[ins.rs1] + ins.imm) & _M
+        value = state.mem.read(addr, width)
+        if value & sign_bit:
+            value |= sign_ext
+        rd = ins.rd
+        if rd:
+            regs[rd] = value
+        pc = state.pc
+        state.pc = next_pc = pc + 4
+        return StepInfo(ins, pc, next_pc, value, addr)
+    return step
+
+
+def _make_store(width: int):
+    mask = (1 << (8 * width)) - 1
+
+    def step(state: ArchState, ins: Instruction) -> StepInfo:
+        regs = state.regs
+        addr = (regs[ins.rs1] + ins.imm) & _M
+        value = regs[ins.rd] & mask
+        state.mem.write(addr, value, width)
+        pc = state.pc
+        state.pc = next_pc = pc + 4
+        return StepInfo(ins, pc, next_pc, None, addr, value, width)
+    return step
+
+
+def _make_branch(fn: Callable[[int, int], bool]):
+    def step(state: ArchState, ins: Instruction) -> StepInfo:
+        regs = state.regs
+        pc = state.pc
+        if fn(regs[ins.rs1], regs[ins.rs2]):
+            state.pc = next_pc = ins.imm << 2
+            return StepInfo(ins, pc, next_pc, taken=True)
+        state.pc = next_pc = pc + 4
+        return StepInfo(ins, pc, next_pc)
+    return step
+
+
+def _step_j(state: ArchState, ins: Instruction) -> StepInfo:
     pc = state.pc
-    next_pc = pc + 4
-    info = StepInfo(ins=ins, pc=pc, next_pc=next_pc)
-    cls = ins.iclass
-    if cls in (InstrClass.ALU, InstrClass.MUL, InstrClass.DIV):
-        a = state.read_reg(ins.rs1) if ins.rs1 is not None else 0
-        b = (state.read_reg(ins.rs2) if ins.rs2 is not None else ins.imm)
-        info.result = ins.alu_result(a, b)
-        state.write_reg(ins.rd, info.result)
-    elif cls is InstrClass.LOAD:
-        addr = (state.read_reg(ins.rs1) + ins.imm) & 0xFFFFFFFF
-        value = state.read_mem(addr, ins.mem_width)
-        if ins.op is Opcode.LB and value & 0x80:
-            value |= 0xFFFFFF00
-        elif ins.op is Opcode.LH and value & 0x8000:
-            value |= 0xFFFF0000
-        info.mem_addr = addr
-        info.result = value
-        state.write_reg(ins.rd, value)
-    elif cls is InstrClass.STORE:
-        addr = (state.read_reg(ins.rs1) + ins.imm) & 0xFFFFFFFF
-        value = state.read_reg(ins.rd) & ((1 << (8 * ins.mem_width)) - 1)
-        state.write_mem(addr, value, ins.mem_width)
-        info.mem_addr = addr
-        info.store_value = value
-        info.store_width = ins.mem_width
-    elif cls is InstrClass.BRANCH:
-        a, b = state.read_reg(ins.rs1), state.read_reg(ins.rs2)
-        if ins.branch_taken(a, b):
-            info.taken = True
-            info.next_pc = next_pc = ins.imm << 2
-    elif cls is InstrClass.JUMP:
-        info.taken = True
-        if ins.op is Opcode.J:
-            info.next_pc = next_pc = ins.imm << 2
-        elif ins.op is Opcode.JAL:
-            info.result = (pc + 4) & 0xFFFFFFFF
-            state.write_reg(ins.rd, info.result)
-            info.next_pc = next_pc = ins.imm << 2
-        else:  # JR
-            info.next_pc = next_pc = state.read_reg(ins.rs1) & 0xFFFFFFFC
-    elif cls is InstrClass.SERIALIZING:
-        if ins.op is Opcode.SWAP:
-            addr = (state.read_reg(ins.rs1) + ins.imm) & 0xFFFFFFFF
-            old = state.read_mem(addr, 4)
-            new = state.read_reg(ins.rd)
-            state.write_mem(addr, new, 4)
-            state.write_reg(ins.rd, old)
-            info.mem_addr = addr
-            info.store_value = new
-            info.store_width = 4
-            info.result = old
-        # TRAP / MEMBAR are architectural no-ops here.
-    elif cls is InstrClass.NOP:
-        pass
-    elif cls is InstrClass.HALT:
-        info.is_halt = True
-        info.next_pc = pc  # halt does not advance
-        return info
-    else:  # pragma: no cover - exhaustive over InstrClass
-        raise AssertionError(f"unhandled class {cls}")
-    state.pc = next_pc
-    return info
+    state.pc = next_pc = ins.imm << 2
+    return StepInfo(ins, pc, next_pc, taken=True)
+
+
+def _step_jal(state: ArchState, ins: Instruction) -> StepInfo:
+    pc = state.pc
+    result = (pc + 4) & _M
+    rd = ins.rd
+    if rd:
+        state.regs[rd] = result
+    state.pc = next_pc = ins.imm << 2
+    return StepInfo(ins, pc, next_pc, result, taken=True)
+
+
+def _step_jr(state: ArchState, ins: Instruction) -> StepInfo:
+    pc = state.pc
+    state.pc = next_pc = state.regs[ins.rs1] & 0xFFFFFFFC
+    return StepInfo(ins, pc, next_pc, taken=True)
+
+
+def _step_swap(state: ArchState, ins: Instruction) -> StepInfo:
+    regs = state.regs
+    mem = state.mem
+    addr = (regs[ins.rs1] + ins.imm) & _M
+    old = mem.read(addr, 4)
+    new = regs[ins.rd]
+    mem.write(addr, new, 4)
+    rd = ins.rd
+    if rd:
+        regs[rd] = old
+    pc = state.pc
+    state.pc = next_pc = pc + 4
+    return StepInfo(ins, pc, next_pc, old, addr, new, 4)
+
+
+def _step_nop(state: ArchState, ins: Instruction) -> StepInfo:
+    pc = state.pc
+    state.pc = next_pc = pc + 4
+    return StepInfo(ins, pc, next_pc)
+
+
+def _step_halt(state: ArchState, ins: Instruction) -> StepInfo:
+    pc = state.pc  # halt does not advance
+    return StepInfo(ins, pc, pc, is_halt=True)
+
+
+def _build_dispatch() -> Dict[Opcode, Callable[[ArchState, Instruction], StepInfo]]:
+    table: Dict[Opcode, Callable[[ArchState, Instruction], StepInfo]] = {}
+    for op, fn in ALU_FUNCS.items():
+        table[op] = _make_alu(fn)
+    table[Opcode.LW] = _make_load(4, 0, 0)
+    table[Opcode.LH] = _make_load(2, 0x8000, 0xFFFF0000)
+    table[Opcode.LB] = _make_load(1, 0x80, 0xFFFFFF00)
+    table[Opcode.SW] = _make_store(4)
+    table[Opcode.SH] = _make_store(2)
+    table[Opcode.SB] = _make_store(1)
+    for op, fn in BRANCH_FUNCS.items():
+        table[op] = _make_branch(fn)
+    table[Opcode.J] = _step_j
+    table[Opcode.JAL] = _step_jal
+    table[Opcode.JR] = _step_jr
+    table[Opcode.SWAP] = _step_swap
+    # TRAP / MEMBAR are architectural no-ops here.
+    table[Opcode.TRAP] = _step_nop
+    table[Opcode.MEMBAR] = _step_nop
+    table[Opcode.NOP] = _step_nop
+    table[Opcode.HALT] = _step_halt
+    missing = set(Opcode) - set(table)
+    assert not missing, f"dispatch table incomplete: {missing}"
+    return table
+
+
+#: Opcode -> step handler; the single source of truth for instruction
+#: semantics across every simulator in the package.
+STEP_DISPATCH = _build_dispatch()
+
+
+def step_state(state: ArchState, ins: Instruction) -> StepInfo:
+    """Advance ``state`` by one instruction via the dispatch table."""
+    return STEP_DISPATCH[ins.op](state, ins)
 
 
 @dataclass
@@ -187,8 +288,10 @@ def run(program: Program, max_instructions: int = 1_000_000,
     counts: Dict[str, int] = {}
     stores: List[Tuple[int, int, int]] = []
 
+    fetch = program.fetch
+    dispatch = STEP_DISPATCH
     while True:
-        ins = program.fetch(state.pc)
+        ins = fetch(state.pc)
         if ins is None or ins.op is Opcode.HALT:
             halted = ins is not None
             break
@@ -201,7 +304,7 @@ def run(program: Program, max_instructions: int = 1_000_000,
         key = ins.iclass.value
         counts[key] = counts.get(key, 0) + 1
 
-        info = step_state(state, ins)
+        info = dispatch[ins.op](state, ins)
         if collect_stores and info.store_value is not None:
             stores.append((info.mem_addr, info.store_value, info.store_width))
 

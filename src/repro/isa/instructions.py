@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from functools import cached_property
+from typing import Callable, Dict, Optional, Tuple
 
 #: Number of architectural general-purpose registers. ``r0`` is hard-wired
 #: to zero, as in MIPS.
@@ -178,6 +179,58 @@ def _u32(value: int) -> int:
     return value & WORD_MASK
 
 
+def _div32(a: int, b: int) -> int:
+    if _s32(b) == 0:
+        return 0
+    return _u32(int(_s32(a) / _s32(b)))  # trunc toward zero
+
+
+def _rem32(a: int, b: int) -> int:
+    if _s32(b) == 0:
+        return 0
+    q = int(_s32(a) / _s32(b))
+    return _u32(_s32(a) - q * _s32(b))
+
+
+#: Per-opcode pure ALU/MUL/DIV semantics: ``fn(a, b) -> result``. ``b`` is
+#: the second operand (rs2's value or the immediate — the caller selects).
+#: Both :meth:`Instruction.alu_result` and the golden executor's dispatch
+#: table index this, so there is exactly one definition of each opcode.
+ALU_FUNCS: Dict[Opcode, Callable[[int, int], int]] = {
+    Opcode.ADD: lambda a, b: (a + b) & WORD_MASK,
+    Opcode.ADDI: lambda a, b: (a + b) & WORD_MASK,
+    Opcode.SUB: lambda a, b: (a - b) & WORD_MASK,
+    Opcode.AND: lambda a, b: (a & b) & WORD_MASK,
+    Opcode.ANDI: lambda a, b: (a & b) & WORD_MASK,
+    Opcode.OR: lambda a, b: (a | b) & WORD_MASK,
+    Opcode.ORI: lambda a, b: (a | b) & WORD_MASK,
+    Opcode.XOR: lambda a, b: (a ^ b) & WORD_MASK,
+    Opcode.XORI: lambda a, b: (a ^ b) & WORD_MASK,
+    Opcode.NOR: lambda a, b: ~(a | b) & WORD_MASK,
+    Opcode.SLT: lambda a, b: 1 if _s32(a) < _s32(b) else 0,
+    Opcode.SLTI: lambda a, b: 1 if _s32(a) < _s32(b) else 0,
+    Opcode.SLTU: lambda a, b: 1 if (a & WORD_MASK) < (b & WORD_MASK) else 0,
+    Opcode.SLL: lambda a, b: (a << (b & 31)) & WORD_MASK,
+    Opcode.SLLI: lambda a, b: (a << (b & 31)) & WORD_MASK,
+    Opcode.SRL: lambda a, b: (a & WORD_MASK) >> (b & 31),
+    Opcode.SRLI: lambda a, b: (a & WORD_MASK) >> (b & 31),
+    Opcode.SRA: lambda a, b: (_s32(a) >> (b & 31)) & WORD_MASK,
+    Opcode.SRAI: lambda a, b: (_s32(a) >> (b & 31)) & WORD_MASK,
+    Opcode.MUL: lambda a, b: (_s32(a) * _s32(b)) & WORD_MASK,
+    Opcode.DIV: _div32,
+    Opcode.REM: _rem32,
+    Opcode.LUI: lambda a, b: (b << 16) & WORD_MASK,
+}
+
+#: Per-opcode conditional-branch predicates, same single-source idea.
+BRANCH_FUNCS: Dict[Opcode, Callable[[int, int], bool]] = {
+    Opcode.BEQ: lambda a, b: (a & WORD_MASK) == (b & WORD_MASK),
+    Opcode.BNE: lambda a, b: (a & WORD_MASK) != (b & WORD_MASK),
+    Opcode.BLT: lambda a, b: _s32(a) < _s32(b),
+    Opcode.BGE: lambda a, b: _s32(a) >= _s32(b),
+}
+
+
 @dataclass(frozen=True)
 class Instruction:
     """One decoded instruction.
@@ -199,36 +252,46 @@ class Instruction:
     # ------------------------------------------------------------------
     # static properties
     # ------------------------------------------------------------------
-    @property
+    # ``cached_property`` (not ``property``): instruction objects are
+    # shared across every dynamic execution of a static instruction, so
+    # each of these decode-time facts is computed once per program, not
+    # once per simulated instruction. The cache lives in the instance
+    # ``__dict__`` and does not participate in equality or hashing.
+    @cached_property
     def iclass(self) -> InstrClass:
         return OPCODE_CLASS[self.op]
 
-    @property
+    @cached_property
     def is_mem(self) -> bool:
         return self.iclass in (InstrClass.LOAD, InstrClass.STORE) or self.op is Opcode.SWAP
 
-    @property
+    @cached_property
     def is_store(self) -> bool:
         return self.iclass is InstrClass.STORE or self.op is Opcode.SWAP
 
-    @property
+    @cached_property
     def is_load(self) -> bool:
         return self.iclass is InstrClass.LOAD or self.op is Opcode.SWAP
 
-    @property
+    @cached_property
     def is_branch(self) -> bool:
         return self.iclass in (InstrClass.BRANCH, InstrClass.JUMP)
 
-    @property
+    @cached_property
     def is_serializing(self) -> bool:
         return self.iclass is InstrClass.SERIALIZING
 
-    @property
+    @cached_property
     def mem_width(self) -> int:
         """Access width in bytes (memory instructions only)."""
         return MEM_WIDTH.get(self.op, 0)
 
-    @property
+    @cached_property
+    def srcs(self) -> Tuple[int, ...]:
+        """Cached :meth:`src_regs` (dispatch-stage hot path)."""
+        return self.src_regs()
+
+    @cached_property
     def writes_reg(self) -> bool:
         """True when the instruction architecturally writes ``rd``.
 
@@ -270,58 +333,20 @@ class Instruction:
         ``b`` is the second operand: rs2's value for register forms, the
         immediate for immediate forms (the caller selects). All arithmetic
         wraps to 32 bits; division by zero returns 0 (matching the
-        simulator's trap-free semantics).
+        simulator's trap-free semantics). Semantics live in
+        :data:`ALU_FUNCS`, shared with the golden executor's dispatch table.
         """
-        op = self.op
-        if op in (Opcode.ADD, Opcode.ADDI):
-            return _u32(a + b)
-        if op is Opcode.SUB:
-            return _u32(a - b)
-        if op in (Opcode.AND, Opcode.ANDI):
-            return _u32(a & b)
-        if op in (Opcode.OR, Opcode.ORI):
-            return _u32(a | b)
-        if op in (Opcode.XOR, Opcode.XORI):
-            return _u32(a ^ b)
-        if op is Opcode.NOR:
-            return _u32(~(a | b))
-        if op in (Opcode.SLT, Opcode.SLTI):
-            return 1 if _s32(a) < _s32(b) else 0
-        if op is Opcode.SLTU:
-            return 1 if _u32(a) < _u32(b) else 0
-        if op in (Opcode.SLL, Opcode.SLLI):
-            return _u32(a << (b & 31))
-        if op in (Opcode.SRL, Opcode.SRLI):
-            return _u32(a) >> (b & 31)
-        if op in (Opcode.SRA, Opcode.SRAI):
-            return _u32(_s32(a) >> (b & 31))
-        if op is Opcode.MUL:
-            return _u32(_s32(a) * _s32(b))
-        if op is Opcode.DIV:
-            if _s32(b) == 0:
-                return 0
-            return _u32(int(_s32(a) / _s32(b)))  # trunc toward zero
-        if op is Opcode.REM:
-            if _s32(b) == 0:
-                return 0
-            q = int(_s32(a) / _s32(b))
-            return _u32(_s32(a) - q * _s32(b))
-        if op is Opcode.LUI:
-            return _u32(b << 16)
-        raise ValueError(f"{op} has no ALU semantics")
+        fn = ALU_FUNCS.get(self.op)
+        if fn is None:
+            raise ValueError(f"{self.op} has no ALU semantics")
+        return fn(a, b)
 
     def branch_taken(self, a: int, b: int) -> bool:
         """Evaluate a conditional branch for source values ``a``, ``b``."""
-        op = self.op
-        if op is Opcode.BEQ:
-            return _u32(a) == _u32(b)
-        if op is Opcode.BNE:
-            return _u32(a) != _u32(b)
-        if op is Opcode.BLT:
-            return _s32(a) < _s32(b)
-        if op is Opcode.BGE:
-            return _s32(a) >= _s32(b)
-        raise ValueError(f"{op} is not a conditional branch")
+        fn = BRANCH_FUNCS.get(self.op)
+        if fn is None:
+            raise ValueError(f"{self.op} is not a conditional branch")
+        return fn(a, b)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         parts = [self.op.value]

@@ -1,0 +1,205 @@
+"""Sparse memory backends for :class:`repro.isa.golden.ArchState`.
+
+The simulated address space is 4 GiB but kernels touch a few KiB, so
+memory must stay sparse. Two interchangeable backends implement the same
+protocol (``read``/``write``/``items``/``copy``/equality):
+
+* :class:`PagedMemory` — the production backend: a dict of 4 KiB
+  ``bytearray`` pages. Aligned accesses are one slice + ``int.from_bytes``
+  instead of the per-byte dict walk the simulator started with, which is
+  what makes the cycle-stepped hot path fast.
+* :class:`DictMemory` — the original per-byte dict, kept as the
+  reference implementation the property tests compare against.
+
+Content semantics are *normalised*: a byte that was written zero is
+indistinguishable from an untouched byte (both read back 0), so
+``items()``/equality/snapshots expose only nonzero bytes. This makes the
+two backends — and any two executions that differ only in explicit zero
+writes — compare equal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+_ADDR_MASK = 0xFFFFFFFF
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class PagedMemory:
+    """Sparse 4 GiB byte-addressable memory over 4 KiB pages."""
+
+    __slots__ = ("_pages",)
+
+    def __init__(self, pages: Optional[Dict[int, bytearray]] = None) -> None:
+        self._pages: Dict[int, bytearray] = pages if pages is not None else {}
+
+    # -- hot path -----------------------------------------------------------
+    def read(self, addr: int, width: int) -> int:
+        addr &= _ADDR_MASK
+        off = addr & PAGE_MASK
+        if off + width <= PAGE_SIZE:
+            page = self._pages.get(addr >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            return int.from_bytes(page[off:off + width], "little")
+        return sum(self.read_byte(addr + i) << (8 * i) for i in range(width))
+
+    def write(self, addr: int, value: int, width: int) -> None:
+        addr &= _ADDR_MASK
+        value &= (1 << (8 * width)) - 1
+        off = addr & PAGE_MASK
+        if off + width <= PAGE_SIZE:
+            pno = addr >> PAGE_SHIFT
+            page = self._pages.get(pno)
+            if page is None:
+                page = self._pages[pno] = bytearray(PAGE_SIZE)
+            page[off:off + width] = value.to_bytes(width, "little")
+            return
+        for i in range(width):
+            self.write_byte(addr + i, (value >> (8 * i)) & 0xFF)
+
+    def read_byte(self, addr: int) -> int:
+        addr &= _ADDR_MASK
+        page = self._pages.get(addr >> PAGE_SHIFT)
+        return page[addr & PAGE_MASK] if page is not None else 0
+
+    def write_byte(self, addr: int, value: int) -> None:
+        addr &= _ADDR_MASK
+        pno = addr >> PAGE_SHIFT
+        page = self._pages.get(pno)
+        if page is None:
+            page = self._pages[pno] = bytearray(PAGE_SIZE)
+        page[addr & PAGE_MASK] = value & 0xFF
+
+    # -- mapping-style views (nonzero bytes only) ---------------------------
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """(addr, byte) for every nonzero byte, ascending address order."""
+        for pno in sorted(self._pages):
+            base = pno << PAGE_SHIFT
+            page = self._pages[pno]
+            for off, byte in enumerate(page):
+                if byte:
+                    yield base + off, byte
+
+    def __iter__(self) -> Iterator[int]:
+        for addr, _ in self.items():
+            yield addr
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    def __contains__(self, addr: int) -> bool:
+        return self.read_byte(addr) != 0
+
+    def get(self, addr: int, default=None):
+        byte = self.read_byte(addr)
+        return byte if byte else default
+
+    def __getitem__(self, addr: int) -> int:
+        return self.read_byte(addr)
+
+    def __setitem__(self, addr: int, value: int) -> None:
+        self.write_byte(addr, value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PagedMemory):
+            mine, theirs = self._pages, other._pages
+            for pno in mine.keys() | theirs.keys():
+                a, b = mine.get(pno), theirs.get(pno)
+                if a is None:
+                    if any(b):
+                        return False
+                elif b is None:
+                    if any(a):
+                        return False
+                elif a != b:
+                    return False
+            return True
+        if isinstance(other, (DictMemory, dict)):
+            theirs = {a: v for a, v in other.items() if v}
+            return dict(self.items()) == theirs
+        return NotImplemented
+
+    __hash__ = None  # mutable
+
+    # -- bulk ops -----------------------------------------------------------
+    def copy(self) -> "PagedMemory":
+        return PagedMemory({pno: bytearray(page)
+                            for pno, page in self._pages.items()})
+
+    def snapshot_items(self) -> Tuple[Tuple[int, int], ...]:
+        """Hashable, layout-independent content tuple for snapshots."""
+        return tuple(self.items())
+
+
+class DictMemory:
+    """Reference backend: one dict entry per touched byte (the seed
+    implementation), with the same normalised protocol on top."""
+
+    __slots__ = ("_bytes",)
+
+    def __init__(self, data: Optional[Dict[int, int]] = None) -> None:
+        self._bytes: Dict[int, int] = dict(data) if data else {}
+
+    def read(self, addr: int, width: int) -> int:
+        return sum(self._bytes.get((addr + i) & _ADDR_MASK, 0) << (8 * i)
+                   for i in range(width))
+
+    def write(self, addr: int, value: int, width: int) -> None:
+        for i in range(width):
+            self._bytes[(addr + i) & _ADDR_MASK] = (value >> (8 * i)) & 0xFF
+
+    def read_byte(self, addr: int) -> int:
+        return self._bytes.get(addr & _ADDR_MASK, 0)
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self._bytes[addr & _ADDR_MASK] = value & 0xFF
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        for addr in sorted(self._bytes):
+            byte = self._bytes[addr]
+            if byte:
+                yield addr, byte
+
+    def __iter__(self) -> Iterator[int]:
+        for addr, _ in self.items():
+            yield addr
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    def __contains__(self, addr: int) -> bool:
+        return self.read_byte(addr) != 0
+
+    def get(self, addr: int, default=None):
+        byte = self.read_byte(addr)
+        return byte if byte else default
+
+    def __getitem__(self, addr: int) -> int:
+        return self.read_byte(addr)
+
+    def __setitem__(self, addr: int, value: int) -> None:
+        self.write_byte(addr, value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DictMemory):
+            return dict(self.items()) == dict(other.items())
+        if isinstance(other, (PagedMemory, dict)):
+            if isinstance(other, dict):
+                theirs = {a: v for a, v in other.items() if v}
+            else:
+                theirs = dict(other.items())
+            return dict(self.items()) == theirs
+        return NotImplemented
+
+    __hash__ = None  # mutable
+
+    def copy(self) -> "DictMemory":
+        return DictMemory(self._bytes)
+
+    def snapshot_items(self) -> Tuple[Tuple[int, int], ...]:
+        return tuple(self.items())

@@ -53,7 +53,7 @@ class CacheConfig:
         return self.policy is WritePolicy.WRITE_BACK
 
 
-@dataclass
+@dataclass(slots=True)
 class Line:
     """One cache line's metadata."""
 
@@ -64,9 +64,13 @@ class Line:
     last_use: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
-    """Outcome of a timing access."""
+    """Outcome of a timing access.
+
+    Consumers only read the fields, so the frequent hit / no-allocate-miss
+    outcomes are served from per-cache preallocated instances.
+    """
 
     hit: bool
     latency: int
@@ -94,11 +98,22 @@ class Cache:
         self.misses = 0
         self.evictions = 0
         self.writebacks = 0
+        # geometry/policy hoisted out of the per-access path (config is
+        # frozen), plus shared results for the allocation-free outcomes
+        self._line_bytes = config.line_bytes
+        self._n_sets = config.n_sets
+        self._assoc = config.assoc
+        self._hit_latency = config.hit_latency
+        self._write_back = config.policy is WritePolicy.WRITE_BACK
+        self._allocates_on_write = config.allocates_on_write
+        self._hit_result = AccessResult(hit=True, latency=config.hit_latency)
+        self._miss_no_alloc = AccessResult(hit=False,
+                                           latency=config.hit_latency)
 
     # -- address helpers -------------------------------------------------
     def _index_tag(self, addr: int) -> Tuple[int, int]:
-        line = addr // self.config.line_bytes
-        return line % self.config.n_sets, line // self.config.n_sets
+        line = addr // self._line_bytes
+        return line % self._n_sets, line // self._n_sets
 
     def line_addr(self, addr: int) -> int:
         return addr - (addr % self.config.line_bytes)
@@ -118,34 +133,40 @@ class Cache:
         The returned latency covers only this cache's hit time; miss
         latency is composed by the hierarchy (L2, bus, DRAM).
         """
-        self._clock += 1
-        index, tag = self._index_tag(addr)
-        ways = self._sets.setdefault(index, [])
+        clock = self._clock + 1
+        self._clock = clock
+        line_no = addr // self._line_bytes
+        n_sets = self._n_sets
+        index = line_no % n_sets
+        tag = line_no // n_sets
+        ways = self._sets.get(index)
+        if ways is None:
+            ways = self._sets[index] = []
         for line in ways:
             if line.valid and line.tag == tag:
                 self.hits += 1
-                line.last_use = self._clock
-                if is_write and self.config.policy is WritePolicy.WRITE_BACK:
+                line.last_use = clock
+                if is_write and self._write_back:
                     line.dirty = True
-                return AccessResult(hit=True, latency=self.config.hit_latency)
+                return self._hit_result
 
         self.misses += 1
-        if is_write and not self.config.allocates_on_write:
+        if is_write and not self._allocates_on_write:
             # write-through no-allocate: the store goes downstream, no fill.
-            return AccessResult(hit=False, latency=self.config.hit_latency)
+            return self._miss_no_alloc
 
         writeback: Optional[int] = None
-        if len(ways) >= self.config.assoc:
+        if len(ways) >= self._assoc:
             victim = min(ways, key=lambda l: l.last_use)
             self.evictions += 1
             if victim.dirty:
                 self.writebacks += 1
                 writeback = self._addr_of(index, victim.tag)
             ways.remove(victim)
-        new_line = Line(tag=tag, last_use=self._clock,
-                        dirty=is_write and self.config.policy is WritePolicy.WRITE_BACK)
+        new_line = Line(tag=tag, last_use=clock,
+                        dirty=is_write and self._write_back)
         ways.append(new_line)
-        return AccessResult(hit=False, latency=self.config.hit_latency,
+        return AccessResult(hit=False, latency=self._hit_latency,
                             writeback_line=writeback, allocated=True)
 
     # -- inventory --------------------------------------------------------

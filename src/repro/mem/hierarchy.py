@@ -104,7 +104,8 @@ class MemPort:
             self.stats.l1i_miss += 1
             latency += self._refill(self.icache, pc, now + latency,
                                     is_write=False)
-        else:
+        elif self.mshrs._entries:
+            # only probe for an in-flight fill when one could exist
             self.mshrs.expire(now)
             latency += self._fill_wait(self.icache, pc, now + latency)
         return latency
@@ -119,7 +120,7 @@ class MemPort:
             self.stats.l1d_miss += 1
             latency += self._refill(self.dcache, addr, now + latency,
                                     is_write=False)
-        else:
+        elif self.mshrs._entries:
             self.mshrs.expire(now)
             latency += self._fill_wait(self.dcache, addr, now + latency)
         return latency

@@ -36,6 +36,8 @@ class MSHRFile:
 
     def expire(self, now: int) -> None:
         """Retire entries whose fill has arrived by cycle ``now``."""
+        if not self._entries:
+            return
         done = [a for a, e in self._entries.items() if e.ready_cycle <= now]
         for a in done:
             del self._entries[a]

@@ -40,27 +40,38 @@ class TLB:
         self._clock = 0
         self.hits = 0
         self.misses = 0
+        # geometry hoisted out of the per-access path (config is frozen)
+        self._page_bytes = config.page_bytes
+        self._n_sets = config.n_sets
+        self._assoc = config.assoc
+        self._miss_penalty = config.miss_penalty
 
     def _index_tag(self, addr: int) -> Tuple[int, int]:
-        vpn = addr // self.config.page_bytes
-        return vpn % self.config.n_sets, vpn // self.config.n_sets
+        vpn = addr // self._page_bytes
+        return vpn % self._n_sets, vpn // self._n_sets
 
     def translate(self, addr: int) -> int:
         """Access the TLB for ``addr``; returns added latency (0 on hit)."""
-        self._clock += 1
-        index, tag = self._index_tag(addr)
-        ways = self._sets.setdefault(index, [])
+        clock = self._clock + 1
+        self._clock = clock
+        vpn = addr // self._page_bytes
+        n_sets = self._n_sets
+        index = vpn % n_sets
+        tag = vpn // n_sets
+        ways = self._sets.get(index)
+        if ways is None:
+            ways = self._sets[index] = []
         for i, (t, _) in enumerate(ways):
             if t == tag:
                 self.hits += 1
-                ways[i] = (t, self._clock)
+                ways[i] = (t, clock)
                 return 0
         self.misses += 1
-        if len(ways) >= self.config.assoc:
+        if len(ways) >= self._assoc:
             victim = min(range(len(ways)), key=lambda i: ways[i][1])
             ways.pop(victim)
-        ways.append((tag, self._clock))
-        return self.config.miss_penalty
+        ways.append((tag, clock))
+        return self._miss_penalty
 
     @property
     def accesses(self) -> int:

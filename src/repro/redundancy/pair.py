@@ -75,7 +75,10 @@ class DualCoreSystem:
         """Per-cycle housekeeping before the cores step (drains, checks)."""
 
     def finished(self) -> bool:
-        return all(p.done for p in self.pipelines)
+        for p in self.pipelines:
+            if not p.done:
+                return False
+        return True
 
     def extra_stats(self) -> dict:
         """Scheme-specific counters merged into the result."""

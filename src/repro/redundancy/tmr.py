@@ -103,6 +103,10 @@ class TMRSystem:
                                            name=f"core{i}"))
         self.now = 0
         if self.injector is not None:
+            # Injected runs must keep the commit-time image an independent
+            # re-execution, never a replay of fetch-time records.
+            for p in self.pipelines:
+                p.commit_replay = "always"
             self._arm_next_strike(0)
 
     # -- drain / vote ------------------------------------------------------

@@ -131,6 +131,10 @@ class ReunionSystem(DualCoreSystem):
         self._unbound_events: List[FaultEvent] = []
         super().__init__(program, config, name=name, **uncore)
         if self.injector is not None:
+            # Injected runs must keep the commit-time image an independent
+            # re-execution, never a replay of fetch-time records.
+            for p in self.pipelines:
+                p.commit_replay = "always"
             self._arm_next_strike(0)
 
     # -- construction hooks -----------------------------------------------

@@ -51,15 +51,18 @@ class _UnSyncGate(CommitGate):
     def __init__(self, system: "UnSyncSystem", core_id: int) -> None:
         self.system = system
         self.core_id = core_id
+        #: this core's CB, bound once (the CommBuffer object is stable;
+        #: recovery mutates its contents, never replaces it)
+        self._cb = system.cbs[core_id]
 
     def can_commit(self, entry: ROBEntry, now: int) -> bool:
-        if entry.is_store:
-            return self.system.cbs[self.core_id].can_accept()
+        if entry.ins.is_store:
+            return self._cb.can_accept()
         return True
 
     def on_commit(self, entry: ROBEntry, now: int) -> None:
-        if entry.is_store:
-            self.system.cbs[self.core_id].push(CBEntry(
+        if entry.ins.is_store:
+            self._cb.push(CBEntry(
                 seq=entry.seq, addr=entry.mem_addr,
                 value=entry.store_value, width=entry.ins.mem_width))
 
@@ -95,6 +98,10 @@ class UnSyncSystem(DualCoreSystem):
                 "unrecoverable write-back scenario)")
         super().__init__(program, cfg, name=name, **uncore)
         if self.injector is not None:
+            # Injected runs must keep the commit-time image an independent
+            # re-execution, never a replay of fetch-time records.
+            for p in self.pipelines:
+                p.commit_replay = "always"
             self._arm_next_strike(0)
 
     # -- construction hooks --------------------------------------------------
@@ -105,16 +112,20 @@ class UnSyncSystem(DualCoreSystem):
     def on_cycle(self, now: int) -> None:
         if self.injector is not None:
             self._process_strikes(now)
-        pending = self.eih.poll(now)
-        if pending is not None:
-            self._recover(now, *pending)
+        if self.eih._pending:
+            pending = self.eih.poll(now)
+            if pending is not None:
+                self._recover(now, *pending)
         if now >= self._recovering_until:
             self._drain(now)
 
     def _drain(self, now: int) -> None:
         cb0, cb1 = self.cbs
-        while len(cb0) and len(cb1):
-            h0, h1 = cb0.head(), cb1.head()
+        f0 = cb0._fifo
+        f1 = cb1._fifo
+        while f0 and f1:
+            h0 = f0[0]
+            h1 = f1[0]
             if h0.seq != h1.seq:
                 # one core is mid-recovery resync; only the common prefix
                 # is drainable and the heads disagree — wait.

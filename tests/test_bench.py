@@ -1,0 +1,102 @@
+"""Tests for the ``repro bench`` throughput harness."""
+
+import json
+
+import pytest
+
+from repro.harness import bench
+from repro.harness.bench import (
+    BenchResult, REFERENCE_SCENARIO, SCENARIOS,
+    check_regression, load_report, run_bench, to_report, write_report,
+)
+
+
+def test_scenario_registry():
+    assert set(SCENARIOS) == {"golden", "baseline-core", "unsync-pair",
+                              "reunion-pair", "campaign-smoke"}
+    assert REFERENCE_SCENARIO in SCENARIOS
+
+
+def test_run_bench_quick_smoke():
+    results = run_bench(["golden", "baseline-core"], quick=True)
+    by_name = {r.scenario: r for r in results}
+    assert set(by_name) == {"golden", "baseline-core"}
+    for r in results:
+        assert r.instructions > 0
+        assert r.seconds > 0
+        assert r.instr_per_sec > 0
+    # the interpreter must out-run the cycle-stepped core
+    assert (by_name["golden"].instr_per_sec
+            > by_name["baseline-core"].instr_per_sec)
+
+
+def test_run_bench_rejects_unknown_scenario():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        run_bench(["golden", "no-such-scenario"])
+
+
+def test_report_roundtrip(tmp_path):
+    results = [
+        BenchResult("golden", instructions=1000, cycles=0,
+                    seconds=0.01, repeats=1),
+        BenchResult("unsync-pair", instructions=1000, cycles=2000,
+                    seconds=0.1, repeats=1),
+    ]
+    path = tmp_path / "BENCH_pipeline.json"
+    written = write_report(results, str(path), quick=True)
+    loaded = load_report(str(path))
+    assert loaded == written
+    assert loaded["schema"] == bench.SCHEMA
+    assert loaded["scenarios"]["unsync-pair"]["instr_per_sec"] == 10000.0
+
+
+def test_load_report_rejects_non_reports(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text(json.dumps({"hello": 1}))
+    with pytest.raises(ValueError, match="not a bench report"):
+        load_report(str(path))
+
+
+def _report(**instr_per_sec):
+    results = [BenchResult(name, instructions=int(ips), cycles=0,
+                           seconds=1.0, repeats=1)
+               for name, ips in instr_per_sec.items()]
+    return to_report(results, quick=False)
+
+
+def test_check_regression_relative_mode():
+    base = _report(golden=100_000, **{"unsync-pair": 10_000})
+    # same relative index on a machine twice as fast: no failure
+    fast = _report(golden=200_000, **{"unsync-pair": 20_000})
+    assert check_regression(fast, base) == []
+    # unsync-pair lost half its relative throughput: failure
+    slow = _report(golden=200_000, **{"unsync-pair": 10_000})
+    failures = check_regression(slow, base)
+    assert len(failures) == 1 and "unsync-pair" in failures[0]
+
+
+def test_check_regression_absolute_mode():
+    base = _report(golden=100_000, **{"unsync-pair": 10_000})
+    ok = _report(golden=100_000, **{"unsync-pair": 9_000})
+    bad = _report(golden=100_000, **{"unsync-pair": 7_000})
+    assert check_regression(ok, base, absolute=True) == []
+    failures = check_regression(bad, base, absolute=True)
+    assert failures and "30.0% regression" in failures[0]
+    # golden itself participates in absolute mode
+    gbad = _report(golden=50_000, **{"unsync-pair": 10_000})
+    assert any("golden" in f for f in check_regression(gbad, base,
+                                                       absolute=True))
+
+
+def test_check_regression_skips_scenarios_missing_from_baseline():
+    base = _report(golden=100_000)
+    cur = _report(golden=100_000, **{"unsync-pair": 10_000})
+    assert check_regression(cur, base) == []
+
+
+def test_regression_threshold_boundary():
+    base = _report(golden=100_000, **{"unsync-pair": 10_000})
+    near_limit = _report(golden=100_000, **{"unsync-pair": 7_600})  # -24%
+    assert check_regression(near_limit, base, max_regression=0.25) == []
+    below = _report(golden=100_000, **{"unsync-pair": 7_400})       # -26%
+    assert check_regression(below, base, max_regression=0.25)

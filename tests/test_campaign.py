@@ -400,3 +400,22 @@ def test_cli_campaign_summarize_missing_store(tmp_path):
     with pytest.raises(SystemExit):
         main(["campaign", "summarize", "--store",
               str(tmp_path / "absent.jsonl")])
+
+
+def test_trial_context_memoizes_programs_and_goldens():
+    from repro.campaign.trial import _TrialContext
+    from repro.isa import golden
+    from repro.workloads import load_workload
+
+    ctx = _TrialContext()
+    prog1 = ctx.program("fibonacci")
+    prog2 = ctx.program("fibonacci")
+    assert prog1 is prog2                      # assembled exactly once
+    gold1 = ctx.golden("fibonacci")
+    gold2 = ctx.golden("fibonacci")
+    assert gold1 is gold2                      # interpreted exactly once
+    fresh = golden.run(load_workload("fibonacci"), max_instructions=2_000_000)
+    assert gold1.state.regs == fresh.state.regs
+    assert gold1.state.mem == fresh.state.mem
+    ctx.clear()
+    assert ctx.program("fibonacci") is not prog1

@@ -23,12 +23,14 @@ def _state(pc=0, **mem):
 
 
 def test_capture_costs_registers_plus_delta():
+    # The delta is a *content* diff: it counts bytes whose value changed,
+    # so the test writes full-width nonzero words.
     store = CheckpointStore(capacity=3)
     s = ArchState()
-    s.write_mem(0x100, 7, 4)
+    s.write_mem(0x100, 0x01020304, 4)
     cp1 = store.capture(10, 0, s)
-    assert cp1.delta_bytes == store.REG_BYTES + 4  # 4 touched bytes
-    s.write_mem(0x104, 9, 4)
+    assert cp1.delta_bytes == store.REG_BYTES + 4  # 4 changed bytes
+    s.write_mem(0x104, 0x05060708, 4)
     cp2 = store.capture(20, 5, s)
     assert cp2.delta_bytes == store.REG_BYTES + 4  # only the new bytes
 

@@ -1,0 +1,155 @@
+"""PagedMemory vs DictMemory: the two backends must be indistinguishable.
+
+The paged backend is the production hot path; the per-byte dict is kept
+as the executable specification. Everything observable — reads of any
+width, ``items()``, equality, ``snapshot()``, golden-run results — must
+agree between them, including at page boundaries and the 4 GiB wrap.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.isa import golden
+from repro.isa.golden import ArchState, STEP_DISPATCH
+from repro.isa.instructions import Opcode
+from repro.isa.memory import DictMemory, PagedMemory, PAGE_SIZE
+
+from tests.test_random_programs import random_program
+
+
+# ---------------------------------------------------------------------------
+# unit: widths, page boundaries, wraparound
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("width", [1, 2, 4])
+def test_write_read_roundtrip_widths(width):
+    mem = PagedMemory()
+    value = 0x01020304 & ((1 << (8 * width)) - 1)
+    mem.write(0x2000, value, width)
+    assert mem.read(0x2000, width) == value
+
+
+def test_cross_page_access():
+    mem = PagedMemory()
+    ref = DictMemory()
+    addr = PAGE_SIZE - 2          # 4-byte access straddles two pages
+    for m in (mem, ref):
+        m.write(addr, 0xAABBCCDD, 4)
+    assert mem.read(addr, 4) == ref.read(addr, 4) == 0xAABBCCDD
+    # little-endian: bytes land either side of the boundary
+    assert mem.read_byte(PAGE_SIZE - 1) == 0xCC
+    assert mem.read_byte(PAGE_SIZE) == 0xBB
+    assert mem == ref
+
+
+def test_4gib_wraparound():
+    mem = PagedMemory()
+    ref = DictMemory()
+    for m in (mem, ref):
+        m.write(0xFFFF_FFFE, 0x11223344, 4)   # wraps into addresses 0 and 1
+    assert mem.read(0xFFFF_FFFE, 4) == 0x11223344
+    assert mem.read_byte(0) == 0x22
+    assert mem.read_byte(1) == 0x11
+    assert mem == ref
+
+
+def test_zero_writes_are_normalised_away():
+    mem = PagedMemory()
+    mem.write(0x100, 0, 4)
+    assert list(mem.items()) == []
+    assert mem == DictMemory()
+    assert mem == {}
+    mem.write(0x100, 0xFF, 1)
+    mem.write(0x100, 0, 1)
+    assert list(mem.items()) == []
+
+
+def test_items_sorted_and_nonzero_only():
+    mem = PagedMemory()
+    mem.write(0x300, 0x00FF0001, 4)  # middle byte is zero
+    mem.write(0x10, 0x7, 1)
+    assert list(mem.items()) == [(0x10, 0x7), (0x300, 0x01),
+                                 (0x302, 0xFF)]
+
+
+def test_copy_is_independent():
+    mem = PagedMemory()
+    mem.write(0x40, 0xAB, 1)
+    dup = mem.copy()
+    dup.write(0x40, 0xCD, 1)
+    assert mem.read_byte(0x40) == 0xAB
+    assert dup.read_byte(0x40) == 0xCD
+
+
+def test_mapping_protocol():
+    mem = PagedMemory()
+    mem.write(0x20, 0x99, 1)
+    assert mem.get(0x20) == 0x99
+    assert mem.get(0x21, 0) == 0
+    assert 0x20 in mem
+    assert 0x21 not in mem
+    assert len(mem) == 1
+    assert mem[0x20] == 0x99
+
+
+# ---------------------------------------------------------------------------
+# property: random operation sequences agree byte-for-byte
+# ---------------------------------------------------------------------------
+_interesting_addrs = st.one_of(
+    st.integers(min_value=0, max_value=64),
+    st.integers(min_value=PAGE_SIZE - 8, max_value=PAGE_SIZE + 8),
+    st.integers(min_value=0xFFFF_FFF8, max_value=0xFFFF_FFFF),
+    st.integers(min_value=0, max_value=0xFFFF_FFFF),
+)
+_op = st.tuples(_interesting_addrs,
+                st.sampled_from([1, 2, 4]),
+                st.integers(min_value=0, max_value=0xFFFF_FFFF))
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(_op, min_size=1, max_size=40))
+def test_backends_agree_on_random_writes(ops):
+    paged = PagedMemory()
+    ref = DictMemory()
+    for addr, width, value in ops:
+        paged.write(addr, value, width)
+        ref.write(addr, value, width)
+        assert paged.read(addr, width) == ref.read(addr, width)
+    assert list(paged.items()) == list(ref.items())
+    assert paged == ref and ref == paged
+    assert paged.snapshot_items() == ref.snapshot_items()
+    assert paged.copy() == ref
+
+
+# ---------------------------------------------------------------------------
+# property: golden execution identical on both backends
+# ---------------------------------------------------------------------------
+def _run_with_dict_backend(program, max_instructions=100_000):
+    """golden.run, but on a DictMemory-backed state (the reference)."""
+    state = ArchState()
+    state.mem = DictMemory()
+    state.load_data(program)
+    state.pc = program.entry_pc
+    dispatch = STEP_DISPATCH
+    fetch = program.fetch
+    for _ in range(max_instructions):
+        ins = fetch(state.pc)
+        if ins is None or ins.op is Opcode.HALT:
+            return state
+        dispatch[ins.op](state, ins)
+    raise AssertionError("reference run exceeded instruction budget")
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(random_program())
+def test_golden_runs_identical_on_both_backends(program):
+    paged = golden.run(program, max_instructions=100_000)
+    ref_state = _run_with_dict_backend(program)
+    assert paged.state.regs == ref_state.regs
+    assert paged.state.pc == ref_state.pc
+    assert paged.state.mem == ref_state.mem
+    assert paged.state.snapshot() == ref_state.snapshot()
+    # snapshots stay hashable (campaign memo keys rely on this)
+    hash(paged.state.snapshot())
