@@ -41,6 +41,8 @@ class CellAggregate:
     clean_trials: int = 0
     #: raw event counts per Outcome.value
     events: Dict[str, int] = field(default_factory=dict)
+    #: summed per-trial telemetry counters (integers -> exact merges)
+    metrics: Dict[str, int] = field(default_factory=dict)
 
     def add(self, result: TrialResult) -> None:
         self.trials += 1
@@ -54,6 +56,8 @@ class CellAggregate:
         self.clean_trials += 1 if result.strikes == 0 else 0
         for key, count in result.outcomes.items():
             self.events[key] = self.events.get(key, 0) + count
+        for key, value in result.metrics.items():
+            self.metrics[key] = self.metrics.get(key, 0) + value
 
     # -- proportions --------------------------------------------------------
     def proportion(self, successes: int,
@@ -91,6 +95,7 @@ class CellAggregate:
             "mean_cycles": mean(self.cycles),
             "mean_recovery_cycles": mean(self.recovery_cycles),
             "ipc": (self.instructions / self.cycles if self.cycles else 0.0),
+            "metrics": dict(sorted(self.metrics.items())),
         }
 
 

@@ -10,7 +10,7 @@ debugging always agree.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from repro.campaign.spec import TrialSpec
@@ -85,6 +85,10 @@ class TrialResult:
     outcomes: Dict[str, int]
     #: total recovery/rollback cycles charged during the run
     recovery_cycles: int
+    #: scheme-level telemetry counters (integral, non-zero only — see
+    #: ``trial_metrics``); integer-summed by the aggregator, so merges
+    #: stay exact and order-independent
+    metrics: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cell(self) -> str:
@@ -122,10 +126,13 @@ class TrialResult:
             "strikes": self.strikes,
             "outcomes": {k: v for k, v in sorted(self.outcomes.items()) if v},
             "recovery_cycles": self.recovery_cycles,
+            "metrics": {k: v for k, v in sorted(self.metrics.items()) if v},
         }
 
     @classmethod
     def from_record(cls, record: Dict) -> "TrialResult":
+        # `.get` keeps stores written before the telemetry subsystem
+        # readable (their trials simply contribute no metrics)
         return cls(scheme=record["scheme"], workload=record["workload"],
                    ser=float(record["ser"]), seed=int(record["seed"]),
                    cycles=int(record["cycles"]),
@@ -133,7 +140,27 @@ class TrialResult:
                    strikes=int(record["strikes"]),
                    outcomes={k: int(v)
                              for k, v in record["outcomes"].items()},
-                   recovery_cycles=int(record["recovery_cycles"]))
+                   recovery_cycles=int(record["recovery_cycles"]),
+                   metrics={k: int(v)
+                            for k, v in record.get("metrics", {}).items()})
+
+
+def trial_metrics(run_metrics: Dict[str, float]) -> Dict[str, int]:
+    """Scheme-level metric counters worth persisting per trial.
+
+    Per-core counters (``core0.*``) are dropped — they are bulky and
+    derivable from debugging single runs — and only non-zero *integral*
+    values survive, so the aggregate's integer sums stay exact regardless
+    of merge order (the campaign determinism invariant).
+    """
+    out: Dict[str, int] = {}
+    for name, value in run_metrics.items():
+        if name.startswith("core"):
+            continue
+        if not value or float(value) != int(value):
+            continue
+        out[name] = int(value)
+    return out
 
 
 def run_trial(trial: TrialSpec) -> TrialResult:
@@ -159,4 +186,5 @@ def run_trial(trial: TrialSpec) -> TrialResult:
                        ser=trial.ser, seed=trial.seed,
                        cycles=res.cycles, instructions=res.instructions,
                        strikes=len(res.fault_events),
-                       outcomes=dict(outcomes), recovery_cycles=recovery)
+                       outcomes=dict(outcomes), recovery_cycles=recovery,
+                       metrics=trial_metrics(res.metrics))

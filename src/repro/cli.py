@@ -296,10 +296,14 @@ def _cmd_config_dump(args) -> int:
 
 def _cmd_bench(args) -> int:
     from repro.harness.bench import (
-        check_regression, load_report, run_bench, write_report,
+        BenchBaselineError, check_regression, load_report, run_bench,
+        write_report,
     )
-    results = run_bench(scenarios=args.scenarios or None, quick=args.quick,
-                        repeat=args.repeat)
+    try:
+        results = run_bench(scenarios=args.scenarios or None,
+                            quick=args.quick, repeat=args.repeat)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
     rows = [(r.scenario, r.instructions, r.cycles,
              f"{r.seconds:.3f}", f"{r.instr_per_sec:,.0f}",
              f"{r.cycles_per_sec:,.0f}") for r in results]
@@ -313,11 +317,16 @@ def _cmd_bench(args) -> int:
     if args.baseline:
         try:
             baseline = load_report(args.baseline)
+            failures = check_regression(report, baseline,
+                                        max_regression=args.max_regression,
+                                        absolute=args.absolute)
         except FileNotFoundError:
-            raise SystemExit(f"error: no baseline report at {args.baseline!r}")
-        failures = check_regression(report, baseline,
-                                    max_regression=args.max_regression,
-                                    absolute=args.absolute)
+            raise SystemExit(
+                f"error: no baseline report at {args.baseline!r} — generate "
+                f"one with `python -m repro bench --out {args.baseline}` on "
+                f"a known-good checkout, commit it, then re-run this check")
+        except BenchBaselineError as exc:
+            raise SystemExit(f"error: {exc}")
         mode = "absolute" if args.absolute else "relative-to-golden"
         if failures:
             for f in failures:
@@ -330,7 +339,7 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_trace(args) -> int:
+def _cmd_trace_diagram(args) -> int:
     from repro.core.trace import PipelineTracer, render_timeline
     from repro.redundancy.pair import BaselineSystem
     from repro.reunion.system import ReunionSystem
@@ -348,6 +357,82 @@ def _cmd_trace(args) -> int:
     print(f"\nmean completed-to-retire wait: "
           f"{tracer.mean_commit_wait():.1f} cycles "
           f"(this is where redundancy gates bite)")
+    return 0
+
+
+def _cmd_trace_run(args) -> int:
+    from repro.faults.injector import FaultInjector
+    from repro.harness.runner import run_scheme
+    from repro.telemetry import Telemetry
+    from repro.telemetry.chrome import validate_chrome, write_chrome
+    program = _load_program(args.workload)
+    telemetry = Telemetry()
+    kwargs = {"telemetry": telemetry}
+    if args.inject > 0:
+        if args.scheme == "baseline":
+            raise SystemExit("error: the unprotected baseline cannot take "
+                             "--inject (no detectors to fire)")
+        kwargs["injector"] = FaultInjector(args.inject, seed=args.seed)
+    res = run_scheme(args.scheme, program, **kwargs)
+    doc = write_chrome(telemetry.events, args.out)
+    problems = validate_chrome(doc)
+    if problems:
+        for problem in problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        raise SystemExit(f"error: {args.out} failed Chrome-trace validation "
+                         f"({len(problems)} problem(s))")
+    events = telemetry.events
+    dropped = f", {events.dropped} dropped" if events.dropped else ""
+    print(f"wrote {args.out}: {len(events)} events on "
+          f"{len(events.tracks())} tracks{dropped} "
+          f"(load in https://ui.perfetto.dev or chrome://tracing)")
+    if args.events:
+        events.write_jsonl(args.events)
+        print(f"wrote {args.events}")
+    if args.metrics:
+        import json
+        with open(args.metrics, "w") as fh:
+            json.dump(telemetry.metrics.snapshot(), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics}")
+    counts = {}
+    for e in events:
+        counts[e.name] = counts.get(e.name, 0) + 1
+    rows = [("scheme", res.scheme), ("cycles", res.cycles),
+            ("instructions", res.instructions), ("IPC", f"{res.ipc:.3f}")]
+    rows += [(name, n) for name, n in sorted(counts.items())]
+    print(format_table(["metric", "value"], rows,
+                       title=f"{program.name}: traced run"))
+    return 0
+
+
+def _cmd_metrics_summarize(args) -> int:
+    from repro.telemetry.summary import summarize_path
+    try:
+        summary = summarize_path(args.path)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no metrics snapshot or campaign store "
+                         f"at {args.path!r}")
+    if args.json:
+        import json
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if summary["kind"] == "snapshot":
+        rows = [(k, f"{v:g}") for k, v in summary["counters"].items()]
+        rows += [(k, f"{v:g}") for k, v in summary["gauges"].items()]
+        rows += [(f"{k} (mean of {h['count']})", f"{h['mean']:.1f}")
+                 for k, h in summary["histograms"].items()]
+        print(format_table(["metric", "value"], rows,
+                           title="Run metrics snapshot"))
+    else:
+        print(format_table(
+            ["cell", "trials", "metrics"],
+            [(cell, st["trials"], len(st["metrics"]))
+             for cell, st in summary["cells"].items()],
+            title=f"Campaign metrics ({summary['trials']} trials)"))
+        rows = [(k, v) for k, v in summary["totals"].items()]
+        print(format_table(["counter (summed)", "total"], rows))
     return 0
 
 
@@ -598,14 +683,45 @@ def build_parser() -> argparse.ArgumentParser:
                         "golden-normalised index (same-machine runs only)")
     p.set_defaults(fn=_cmd_bench)
 
-    p = sub.add_parser("trace", help="pipeline diagram for a workload's "
-                                     "first N instructions")
-    p.add_argument("workload")
-    p.add_argument("--scheme", default="baseline",
-                   choices=["baseline", "unsync", "reunion"])
-    p.add_argument("--start", type=int, default=0, metavar="SEQ")
-    p.add_argument("--count", type=int, default=24)
-    p.set_defaults(fn=_cmd_trace)
+    p = sub.add_parser("trace", help="pipeline diagrams and Chrome-trace "
+                                     "exports (diagram/run)")
+    tsub = p.add_subparsers(dest="action", required=True)
+
+    tp = tsub.add_parser("diagram", help="ASCII pipeline diagram for a "
+                                         "workload's first N instructions")
+    tp.add_argument("workload")
+    tp.add_argument("--scheme", default="baseline",
+                    choices=["baseline", "unsync", "reunion"])
+    tp.add_argument("--start", type=int, default=0, metavar="SEQ")
+    tp.add_argument("--count", type=int, default=24)
+    tp.set_defaults(fn=_cmd_trace_diagram)
+
+    tp = tsub.add_parser("run", help="run a workload with telemetry on and "
+                                     "export a Chrome trace (Perfetto)")
+    tp.add_argument("workload")
+    tp.add_argument("--scheme", default="unsync",
+                    choices=["baseline", "unsync", "reunion"])
+    tp.add_argument("--inject", type=float, default=0.0, metavar="RATE",
+                    help="per-cycle strike rate (e.g. 1e-3)")
+    tp.add_argument("--seed", type=int, default=0)
+    tp.add_argument("--out", default="trace.json", metavar="FILE",
+                    help="Chrome trace-event JSON (default: trace.json)")
+    tp.add_argument("--events", metavar="FILE.jsonl", default=None,
+                    help="also dump the raw event log as JSONL")
+    tp.add_argument("--metrics", metavar="FILE.json", default=None,
+                    help="also dump the metrics registry snapshot")
+    tp.set_defaults(fn=_cmd_trace_run)
+
+    p = sub.add_parser("metrics", help="inspect telemetry metric dumps "
+                                       "(summarize)")
+    msub = p.add_subparsers(dest="action", required=True)
+    mp = msub.add_parser("summarize", help="summarise a metrics snapshot "
+                                           "or a campaign store's rollups")
+    mp.add_argument("path", help="snapshot JSON (from `trace run "
+                                 "--metrics`) or campaign store JSONL")
+    mp.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    mp.set_defaults(fn=_cmd_metrics_summarize)
     return parser
 
 

@@ -90,6 +90,13 @@ class PipelineStats:
     def ipc(self) -> float:
         return self.committed / self.cycles if self.cycles else 0.0
 
+    def metric_counters(self, prefix: str = "") -> Dict[str, float]:
+        """Flat telemetry-counter view (``prefix`` is the dotted
+        namespace, e.g. ``core0.pipeline.``). Driven off the dataclass
+        fields so new counters are picked up automatically."""
+        from dataclasses import asdict
+        return {prefix + k: float(v) for k, v in asdict(self).items()}
+
 
 @dataclass(slots=True)
 class _Fetched:

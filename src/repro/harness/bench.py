@@ -23,6 +23,7 @@ wall-clock varies. Regression checking therefore supports two modes:
 from __future__ import annotations
 
 import json
+import statistics
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -34,6 +35,12 @@ SCHEMA = 1
 REFERENCE_SCENARIO = "golden"
 
 
+class BenchBaselineError(ValueError):
+    """The baseline report cannot support the requested regression check
+    (missing file content, wrong shape, or disjoint scenario sets). The
+    message is actionable — the CLI prints it without a traceback."""
+
+
 @dataclass(frozen=True)
 class BenchResult:
     """One scenario's measurement (best of ``repeats`` runs)."""
@@ -43,6 +50,10 @@ class BenchResult:
     cycles: int
     seconds: float
     repeats: int
+    #: wall time of every repeat, in round order. Repeats are interleaved
+    #: round-robin across scenarios, so round i of two scenarios ran
+    #: adjacently — per-round ratios cancel machine-load drift.
+    round_seconds: Tuple[float, ...] = ()
 
     @property
     def instr_per_sec(self) -> float:
@@ -58,6 +69,7 @@ class BenchResult:
             "cycles": self.cycles,
             "seconds": round(self.seconds, 6),
             "repeats": self.repeats,
+            "round_seconds": [round(s, 6) for s in self.round_seconds],
             "instr_per_sec": round(self.instr_per_sec, 1),
             "cycles_per_sec": round(self.cycles_per_sec, 1),
         }
@@ -70,10 +82,17 @@ def _sc_golden(quick: bool) -> Callable[[], Tuple[int, int]]:
     from repro.isa import golden
     from repro.workloads import load_workload
     program = load_workload("fibonacci" if quick else "bzip2")
+    # the interpreter finishes bzip2 in ~10 ms — too short to time
+    # against OS jitter, and golden is the regression check's yardstick.
+    # Loop it so the timed region is comparable to the pair scenarios.
+    reps = 1 if quick else 8
 
     def run() -> Tuple[int, int]:
-        res = golden.run(program, max_instructions=2_000_000)
-        return res.instructions, 0
+        total = 0
+        for _ in range(reps):
+            res = golden.run(program, max_instructions=2_000_000)
+            total += res.instructions
+        return total, 0
     return run
 
 
@@ -101,6 +120,21 @@ def _sc_pair(scheme: str, quick: bool) -> Callable[[], Tuple[int, int]]:
     return run
 
 
+def _sc_telemetry(quick: bool) -> Callable[[], Tuple[int, int]]:
+    """The unsync-pair scenario with full telemetry *enabled* — its gap
+    to `unsync-pair` is the telemetry-on overhead, and `unsync-pair`
+    against the committed baseline is the telemetry-off gate."""
+    from repro.harness.runner import run_scheme
+    from repro.telemetry import Telemetry
+    from repro.workloads import load_workload
+    program = load_workload("fibonacci" if quick else "bzip2")
+
+    def run() -> Tuple[int, int]:
+        res = run_scheme("unsync", program, telemetry=Telemetry())
+        return res.instructions, 2 * res.cycles
+    return run
+
+
 def _sc_campaign(quick: bool) -> Callable[[], Tuple[int, int]]:
     from repro.campaign.spec import TrialSpec
     from repro.campaign.trial import run_trial
@@ -124,6 +158,7 @@ SCENARIOS: Dict[str, Callable[[bool], Callable[[], Tuple[int, int]]]] = {
     "baseline-core": _sc_baseline,
     "unsync-pair": lambda quick: _sc_pair("unsync", quick),
     "reunion-pair": lambda quick: _sc_pair("reunion", quick),
+    "telemetry-pair": _sc_telemetry,
     "campaign-smoke": _sc_campaign,
 }
 
@@ -134,7 +169,11 @@ def run_bench(scenarios: Optional[List[str]] = None,
     """Run the selected scenarios; best-of-``repeat`` wall time each.
 
     Workload assembly happens inside the factory, *before* the timed
-    region, so the numbers measure simulation throughput only.
+    region, so the numbers measure simulation throughput only. Repeats
+    are *interleaved* round-robin across scenarios (not run
+    back-to-back), so slow machine-load drift hits every scenario
+    equally and the golden-relative regression index stays stable on
+    busy runners.
     """
     names = list(scenarios) if scenarios else list(SCENARIOS)
     unknown = [n for n in names if n not in SCENARIOS]
@@ -142,20 +181,22 @@ def run_bench(scenarios: Optional[List[str]] = None,
         raise ValueError(f"unknown scenario(s) {', '.join(unknown)} "
                          f"(known: {', '.join(SCENARIOS)})")
     repeats = repeat if repeat is not None else (1 if quick else 3)
-    results: List[BenchResult] = []
-    for name in names:
-        runner = SCENARIOS[name](quick)
-        best: Optional[Tuple[float, int, int]] = None
-        for _ in range(repeats):
+    runners = {name: SCENARIOS[name](quick) for name in names}
+    best: Dict[str, Tuple[float, int, int]] = {}
+    rounds: Dict[str, List[float]] = {name: [] for name in names}
+    for _ in range(repeats):
+        for name in names:
             t0 = time.perf_counter()
-            instructions, cycles = runner()
+            instructions, cycles = runners[name]()
             dt = time.perf_counter() - t0
-            if best is None or dt < best[0]:
-                best = (dt, instructions, cycles)
-        results.append(BenchResult(scenario=name, instructions=best[1],
-                                   cycles=best[2], seconds=best[0],
-                                   repeats=repeats))
-    return results
+            rounds[name].append(dt)
+            if name not in best or dt < best[name][0]:
+                best[name] = (dt, instructions, cycles)
+    return [BenchResult(scenario=name, instructions=best[name][1],
+                        cycles=best[name][2], seconds=best[name][0],
+                        repeats=repeats,
+                        round_seconds=tuple(rounds[name]))
+            for name in names]
 
 
 # ---------------------------------------------------------------------------
@@ -180,9 +221,16 @@ def write_report(results: List[BenchResult], path: str,
 
 def load_report(path: str) -> Dict:
     with open(path) as fh:
-        report = json.load(fh)
-    if "scenarios" not in report:
-        raise ValueError(f"{path}: not a bench report (no 'scenarios' key)")
+        try:
+            report = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise BenchBaselineError(
+                f"{path}: not valid JSON ({exc}); regenerate it with "
+                f"`python -m repro bench --out {path}`")
+    if not isinstance(report, dict) or "scenarios" not in report:
+        raise BenchBaselineError(
+            f"{path}: not a bench report (no 'scenarios' key); regenerate "
+            f"it with `python -m repro bench --out {path}`")
     return report
 
 
@@ -191,14 +239,35 @@ def load_report(path: str) -> Dict:
 # ---------------------------------------------------------------------------
 def _relative_index(scenarios: Dict[str, Dict]) -> Dict[str, float]:
     """Throughput of each scenario as a multiple of the golden
-    interpreter's in the same report (machine-speed independent)."""
-    ref = scenarios.get(REFERENCE_SCENARIO, {}).get("instr_per_sec", 0.0)
-    if not ref:
-        raise ValueError(
+    interpreter's in the same report (machine-speed independent).
+
+    When both sides carry per-round timings (interleaved repeats), the
+    index is the *median of per-round ratios*: round *i* of a scenario
+    and of golden ran back-to-back, so their ratio cancels machine-load
+    drift that a best-of/best-of quotient would inherit. Reports from
+    before round timing existed fall back to the aggregate quotient.
+    """
+    ref = scenarios.get(REFERENCE_SCENARIO, {})
+    if not ref.get("instr_per_sec"):
+        raise BenchBaselineError(
             f"reference scenario {REFERENCE_SCENARIO!r} missing from report; "
-            f"cannot run a relative regression check")
-    return {name: rec["instr_per_sec"] / ref
-            for name, rec in scenarios.items() if name != REFERENCE_SCENARIO}
+            f"cannot run a relative regression check (include it in "
+            f"--scenarios, or pass --absolute)")
+    ref_rounds = ref.get("round_seconds") or []
+    out: Dict[str, float] = {}
+    for name, rec in scenarios.items():
+        if name == REFERENCE_SCENARIO:
+            continue
+        rounds = rec.get("round_seconds") or []
+        if ref_rounds and len(rounds) == len(ref_rounds):
+            ratios = [(rec["instructions"] / ts) / (ref["instructions"] / tg)
+                      for ts, tg in zip(rounds, ref_rounds)
+                      if ts > 0 and tg > 0]
+            if ratios:
+                out[name] = statistics.median(ratios)
+                continue
+        out[name] = rec["instr_per_sec"] / ref["instr_per_sec"]
+    return out
 
 
 def check_regression(current: Dict, baseline: Dict,
@@ -208,7 +277,9 @@ def check_regression(current: Dict, baseline: Dict,
 
     Returns a list of human-readable failures (empty = pass). Scenarios
     present in only one report are skipped — the committed baseline may
-    trail a newly added scenario by one PR.
+    trail a newly added scenario by one PR — but *zero* overlap raises
+    :class:`BenchBaselineError`: a check that compares nothing would
+    otherwise report success.
     """
     failures: List[str] = []
     cur, base = current["scenarios"], baseline["scenarios"]
@@ -219,6 +290,13 @@ def check_regression(current: Dict, baseline: Dict,
     else:
         cur_m, base_m = _relative_index(cur), _relative_index(base)
         unit = "x golden throughput"
+    if not set(cur_m) & set(base_m):
+        raise BenchBaselineError(
+            f"baseline has no scenarios comparable with this run "
+            f"(baseline: {sorted(base_m)}; run: {sorted(cur_m)}; the "
+            f"{REFERENCE_SCENARIO!r} reference is excluded in relative "
+            f"mode); regenerate the baseline with "
+            f"`python -m repro bench --out BENCH_pipeline.json`")
     for name in sorted(set(cur_m) & set(base_m)):
         was, now = base_m[name], cur_m[name]
         if was <= 0:

@@ -57,6 +57,81 @@ class MemPort:
         self.mshrs = MSHRFile(l1_mshrs)
         self.name = name
         self.stats = MemPortStats()
+        # telemetry (disabled unless attach_events is called): miss-burst
+        # detection state. `_events is None` is checked only inside the
+        # miss branches, so the hit path is untouched.
+        self._events = None
+        self._ev_track = f"{name}.mem"
+        self._burst_gap = 16
+        self._burst_min = 4
+        self._burst_start: Optional[int] = None
+        self._burst_last: Optional[int] = None
+        self._burst_n = 0
+        self._burst_tlb0 = 0
+
+    # -- telemetry ---------------------------------------------------------
+    def attach_events(self, events, track: Optional[str] = None,
+                      gap: int = 16, min_burst: int = 4) -> None:
+        """Enable miss-burst event emission into ``events``.
+
+        L1 misses closer than ``gap`` cycles apart coalesce into one
+        burst; a burst of at least ``min_burst`` misses is emitted as a
+        span on ``track`` (with the TLB misses that fell inside it in the
+        args). Emission happens when a burst *closes*, i.e. in burst-start
+        order, which keeps per-track timestamps monotonic.
+        """
+        self._events = events
+        if track is not None:
+            self._ev_track = track
+        self._burst_gap = gap
+        self._burst_min = min_burst
+
+    def _note_miss(self, now: int) -> None:
+        if (self._burst_last is not None
+                and now - self._burst_last <= self._burst_gap):
+            self._burst_last = now
+            self._burst_n += 1
+            return
+        self.flush_miss_bursts()
+        self._burst_start = self._burst_last = now
+        self._burst_n = 1
+        self._burst_tlb0 = self.itlb.misses + self.dtlb.misses
+
+    def flush_miss_bursts(self) -> None:
+        """Emit the in-progress burst, if any (also called at run end)."""
+        if self._burst_start is not None and self._burst_n >= self._burst_min:
+            from repro.telemetry.events import MEM_MISS_BURST
+            tlb = self.itlb.misses + self.dtlb.misses - self._burst_tlb0
+            self._events.emit(
+                MEM_MISS_BURST, self._burst_start, self._ev_track,
+                dur=max(1, self._burst_last - self._burst_start),
+                args={"misses": self._burst_n, "tlb_misses": tlb})
+        self._burst_start = self._burst_last = None
+        self._burst_n = 0
+
+    def metric_counters(self, prefix: str = "") -> Dict[str, float]:
+        """Flat telemetry-counter rollup of the whole port (L1s, TLBs,
+        MSHRs) under ``prefix`` (e.g. ``core0.``)."""
+        s = self.stats
+        return {
+            prefix + "mem.ifetches": float(s.ifetches),
+            prefix + "mem.loads": float(s.loads),
+            prefix + "mem.stores": float(s.stores),
+            prefix + "mem.mshr_stall_cycles": float(s.mshr_stall_cycles),
+            prefix + "l1i.hits": float(self.icache.hits),
+            prefix + "l1i.misses": float(self.icache.misses),
+            prefix + "l1d.hits": float(self.dcache.hits),
+            prefix + "l1d.misses": float(self.dcache.misses),
+            prefix + "l1d.evictions": float(self.dcache.evictions),
+            prefix + "l1d.writebacks": float(self.dcache.writebacks),
+            prefix + "itlb.hits": float(self.itlb.hits),
+            prefix + "itlb.misses": float(self.itlb.misses),
+            prefix + "dtlb.hits": float(self.dtlb.hits),
+            prefix + "dtlb.misses": float(self.dtlb.misses),
+            prefix + "mshr.allocations": float(self.mshrs.allocations),
+            prefix + "mshr.merges": float(self.mshrs.merges),
+            prefix + "mshr.full_stalls": float(self.mshrs.full_stalls),
+        }
 
     # -- internals --------------------------------------------------------
     def _refill(self, cache: Cache, addr: int, now: int, is_write: bool) -> int:
@@ -102,6 +177,8 @@ class MemPort:
         latency += result.latency
         if not result.hit:
             self.stats.l1i_miss += 1
+            if self._events is not None:
+                self._note_miss(now)
             latency += self._refill(self.icache, pc, now + latency,
                                     is_write=False)
         elif self.mshrs._entries:
@@ -118,6 +195,8 @@ class MemPort:
         latency += result.latency
         if not result.hit:
             self.stats.l1d_miss += 1
+            if self._events is not None:
+                self._note_miss(now)
             latency += self._refill(self.dcache, addr, now + latency,
                                     is_write=False)
         elif self.mshrs._entries:
@@ -138,6 +217,8 @@ class MemPort:
         latency += result.latency
         if not result.hit and self.dcache.config.allocates_on_write:
             self.stats.l1d_miss += 1
+            if self._events is not None:
+                self._note_miss(now)
             latency += self._refill(self.dcache, addr, now + latency,
                                     is_write=True)
             if result.writeback_line is not None:

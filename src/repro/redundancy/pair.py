@@ -14,7 +14,7 @@ against.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.config import SystemConfig
 from repro.core.pipeline import CommitGate, Pipeline
@@ -25,6 +25,7 @@ from repro.mem.hierarchy import MemPort
 from repro.mem.l2 import SharedL2
 from repro.mem.prewarm import prewarm_l2
 from repro.redundancy.stats import RunResult, WriteBuffer
+from repro.telemetry import NULL_REGISTRY, Telemetry
 
 
 class DualCoreSystem:
@@ -37,10 +38,19 @@ class DualCoreSystem:
                  name: Optional[str] = None,
                  bus: Optional[Bus] = None,
                  l2: Optional[SharedL2] = None,
-                 addr_offset: int = 0) -> None:
+                 addr_offset: int = 0,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.program = program
         self.config = config or SystemConfig.table1()
         self.name = name or program.name
+        # telemetry sinks, bound before gates/ports so make_gate overrides
+        # and the MemPorts can pick them up. `_ev is None` is the hot-path
+        # "disabled" test (same idiom as Pipeline.tracer); `_met` is the
+        # null registry when disabled so warm paths may call through.
+        self.telemetry = telemetry
+        self._ev = telemetry.events if telemetry is not None else None
+        self._met = telemetry.metrics if telemetry is not None \
+            else NULL_REGISTRY
         # bus/l2 may be supplied by a multi-pair chassis so that several
         # pairs contend for the same uncore (the paper's 4-core CMP)
         self.bus = bus if bus is not None else Bus(
@@ -60,6 +70,8 @@ class DualCoreSystem:
                            l1_mshrs=self.config.l1_mshrs,
                            name=f"{self.name}.core{i}",
                            addr_offset=addr_offset)
+            if self._ev is not None:
+                port.attach_events(self._ev, track=f"core{i}.mem")
             self.ports.append(port)
             gate = self.make_gate(i)
             self.pipelines.append(Pipeline(program, self.config.core, port,
@@ -81,8 +93,33 @@ class DualCoreSystem:
         return True
 
     def extra_stats(self) -> dict:
-        """Scheme-specific counters merged into the result."""
+        """Scheme-specific counters merged into the result.
+
+        Since the telemetry subsystem this is a derived view: the default
+        maps :attr:`LEGACY_EXTRA` (legacy key -> metric name) over
+        :meth:`scheme_metrics`, so the historical keys keep their exact
+        values while the named counters are the single source of truth.
+        """
+        metrics = self.scheme_metrics()
+        return {legacy: float(metrics[name])
+                for legacy, name in self.LEGACY_EXTRA.items()}
+
+    #: legacy ``extra`` key -> telemetry counter name (per scheme)
+    LEGACY_EXTRA: Dict[str, str] = {}
+
+    def scheme_metrics(self) -> Dict[str, float]:
+        """Scheme-level named telemetry counters (override per scheme)."""
         return {}
+
+    def metric_counters(self) -> Dict[str, float]:
+        """The full flat counter rollup: per-core pipeline + memory
+        hierarchy counters plus the scheme-level counters."""
+        m: Dict[str, float] = {}
+        for i, (p, port) in enumerate(zip(self.pipelines, self.ports)):
+            m.update(p.stats.metric_counters(f"core{i}.pipeline."))
+            m.update(port.metric_counters(f"core{i}."))
+        m.update(self.scheme_metrics())
+        return m
 
     # -- driving -----------------------------------------------------------
     def step(self) -> None:
@@ -106,6 +143,12 @@ class DualCoreSystem:
         # cycles = slowest core's completion, instructions = one stream.
         cycles = max(p.stats.cycles for p in self.pipelines)
         instructions = self.pipelines[0].stats.committed
+        if self._ev is not None:
+            for port in self.ports:
+                port.flush_miss_bursts()
+        metrics = self.metric_counters()
+        if self.telemetry is not None:
+            self.telemetry.metrics.merge_counters(metrics)
         return RunResult(
             name=self.name,
             scheme=self.scheme,
@@ -114,6 +157,7 @@ class DualCoreSystem:
             state=self.pipelines[0].committed_state,
             core_stats=[p.stats for p in self.pipelines],
             extra=self.extra_stats(),
+            metrics=metrics,
         )
 
     # -- verification helper -------------------------------------------------
@@ -150,10 +194,13 @@ class BaselineSystem:
     def __init__(self, program: Program,
                  config: Optional[SystemConfig] = None,
                  wbuf_entries: int = 16,
-                 name: Optional[str] = None) -> None:
+                 name: Optional[str] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.program = program
         self.config = config or SystemConfig.table1()
         self.name = name or program.name
+        self.telemetry = telemetry
+        self._ev = telemetry.events if telemetry is not None else None
         self.bus = Bus(width_bytes=self.config.bus_width_bytes)
         self.l2 = SharedL2(config=self.config.l2, mshrs=self.config.l2_mshrs)
         prewarm_l2(self.l2, program)
@@ -164,6 +211,8 @@ class BaselineSystem:
                             dtlb_cfg=self.config.dtlb,
                             l1_mshrs=self.config.l1_mshrs,
                             name=f"{self.name}.core0")
+        if self._ev is not None:
+            self.port.attach_events(self._ev, track="core0.mem")
         self.wbuf = WriteBuffer(capacity=wbuf_entries)
         self.pipeline = Pipeline(program, self.config.core, self.port,
                                  gate=_WriteBufferGate(self), name="core0")
@@ -181,12 +230,25 @@ class BaselineSystem:
         self.pipeline.step(self.now)
         self.now += 1
 
+    def scheme_metrics(self) -> Dict[str, float]:
+        return {
+            "baseline.wbuf.pushes": float(self.wbuf.pushes),
+            "baseline.wbuf.full_stalls": float(self.wbuf.full_stalls),
+        }
+
     def run(self, max_cycles: int = 2_000_000) -> RunResult:
         while not self.pipeline.done:
             if self.now >= max_cycles:
                 raise RuntimeError(
                     f"{self.name}[baseline]: exceeded {max_cycles} cycles")
             self.step()
+        if self._ev is not None:
+            self.port.flush_miss_bursts()
+        metrics = self.pipeline.stats.metric_counters("core0.pipeline.")
+        metrics.update(self.port.metric_counters("core0."))
+        metrics.update(self.scheme_metrics())
+        if self.telemetry is not None:
+            self.telemetry.metrics.merge_counters(metrics)
         return RunResult(
             name=self.name,
             scheme=self.scheme,
@@ -194,5 +256,6 @@ class BaselineSystem:
             instructions=self.pipeline.stats.committed,
             state=self.pipeline.committed_state,
             core_stats=[self.pipeline.stats],
-            extra={"wbuf_full_stalls": float(self.wbuf.full_stalls)},
+            extra={"wbuf_full_stalls": metrics["baseline.wbuf.full_stalls"]},
+            metrics=metrics,
         )

@@ -174,6 +174,8 @@ class CheckStage:
         self.corrupt_next: List[bool] = [False, False]
         #: groups whose stream was corrupted (fault adjudication)
         self.corrupted_groups: set = set()
+        #: telemetry event sink (installed by ReunionSystem; None = off)
+        self.events = None
         # statistics
         self.fingerprints_compared = 0
         self.mismatches = 0
@@ -215,6 +217,16 @@ class CheckStage:
             self.mismatches += 1
         elif group in self.corrupted_groups:
             self.aliased_corruptions += 1
+        if self.events is not None:
+            from repro.telemetry.events import FP_COMPARE, FP_MISMATCH
+            # ts is the comparison *decision* cycle; the in-flight latency
+            # lands the verdict at args["verified_at"]
+            self.events.emit(FP_COMPARE, now, "check",
+                             args={"group": group, "matched": matched,
+                                   "verified_at": verified_at})
+            if not matched:
+                self.events.emit(FP_MISMATCH, now, "check",
+                                 args={"group": group})
 
     def dispatch_allowed(self, core: int, now: int) -> bool:
         group = self.block_group[core]

@@ -54,6 +54,8 @@ class CheckStageBuffer:
         self._fifo: Deque[CSBEntry] = deque()
         self.pushes = 0
         self.full_stalls = 0
+        #: high-water mark (checks the paper's csb_entries_for sizing)
+        self.max_occupancy = 0
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -73,6 +75,8 @@ class CheckStageBuffer:
             raise ValueError("CSB admission must be in program order")
         self._fifo.append(CSBEntry(seq, group))
         self.pushes += 1
+        if len(self._fifo) > self.max_occupancy:
+            self.max_occupancy = len(self._fifo)
 
     def head(self) -> Optional[CSBEntry]:
         return self._fifo[0] if self._fifo else None

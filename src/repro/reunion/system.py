@@ -27,6 +27,10 @@ from repro.redundancy.pair import DualCoreSystem
 from repro.redundancy.stats import WriteBuffer
 from repro.reunion.check_stage import CheckStage, ReunionParams
 from repro.reunion.csb import CheckStageBuffer, csb_entries_for
+from repro.telemetry import Telemetry
+from repro.telemetry.events import (
+    CSB_GATE, FAULT_DETECTED, FAULT_INJECTED, FAULT_SDC, ROLLBACK,
+)
 
 
 class _ReunionGate(CommitGate):
@@ -36,6 +40,11 @@ class _ReunionGate(CommitGate):
         self.system = system
         self.core_id = core_id
         self.next_csb_seq = 0
+        #: telemetry sink (None when disabled) + the open CSB-full stall
+        #: episode, reported as one csb.gate span per episode
+        self._ev = system._ev
+        self._ev_track = f"core{core_id}.csb"
+        self._stall_start: Optional[int] = None
 
     def dispatch_allowed(self, now: int) -> bool:
         return self.system.check.dispatch_allowed(self.core_id, now)
@@ -51,7 +60,13 @@ class _ReunionGate(CommitGate):
         csb = self.system.csbs[self.core_id]
         if csb.full:
             csb.full_stalls += 1
+            if self._ev is not None and self._stall_start is None:
+                self._stall_start = now
             return False
+        if self._stall_start is not None:
+            self._ev.emit(CSB_GATE, self._stall_start, self._ev_track,
+                          dur=now - self._stall_start)
+            self._stall_start = None
         csb.push(entry.seq, entry.fp_group)
         self.next_csb_seq += 1
         check = self.system.check
@@ -98,9 +113,12 @@ class ReunionSystem(DualCoreSystem):
                  injector: Optional[FaultInjector] = None,
                  detectors: Optional[Dict[str, Detector]] = None,
                  name: Optional[str] = None,
+                 telemetry: Optional[Telemetry] = None,
                  **uncore) -> None:
         self.params = params or ReunionParams()
         self.check = CheckStage(self.params)
+        if telemetry is not None:
+            self.check.events = telemetry.events
         # Performance default: generous CSB so that — as in the paper's
         # Figure 5 narrative — the *ROB* is the structure that saturates
         # under large FI / comparison latency, not the CSB. The paper's
@@ -129,7 +147,8 @@ class ReunionSystem(DualCoreSystem):
         self._next_strike: Optional[Strike] = None
         #: fault events awaiting group-verdict adjudication
         self._unbound_events: List[FaultEvent] = []
-        super().__init__(program, config, name=name, **uncore)
+        super().__init__(program, config, name=name, telemetry=telemetry,
+                         **uncore)
         if self.injector is not None:
             # Injected runs must keep the commit-time image an independent
             # re-execution, never a replay of fetch-time records.
@@ -201,10 +220,18 @@ class ReunionSystem(DualCoreSystem):
                                block=strike.block, bit=strike.bit)
             detector = self.detectors.get(strike.block, NoDetector())
             result = detector.check(1)
+            if self._ev is not None:
+                self._ev.emit(FAULT_INJECTED, now, f"core{core_id}",
+                              args={"block": strike.block,
+                                    "bit": strike.bit})
             if result.corrected:
                 # SECDED L1: fixed in place, execution unaffected
                 event.outcome = Outcome.DETECTED_RECOVERED
                 event.detection_latency = result.latency_cycles
+                if self._ev is not None:
+                    self._ev.emit(FAULT_DETECTED, now, f"core{core_id}",
+                                  args={"block": strike.block,
+                                        "corrected": True})
             elif block.pre_commit:
                 # the corruption flows into the next fingerprint; verdict
                 # adjudicated when the group comparison lands.
@@ -213,6 +240,9 @@ class ReunionSystem(DualCoreSystem):
                 self._unbound_events.append(event)
             else:
                 event.outcome = Outcome.SDC
+                if self._ev is not None:
+                    self._ev.emit(FAULT_SDC, now, f"core{core_id}",
+                                  args={"block": strike.block})
             self.fault_events.append(event)
             self._arm_next_strike(now)
 
@@ -230,9 +260,24 @@ class ReunionSystem(DualCoreSystem):
                     verdict_ok = check.is_verified(group, now + 10**9)
                     if verdict_ok:
                         event.outcome = Outcome.SDC  # CRC aliased
+                        if self._ev is not None:
+                            self._ev.emit(FAULT_SDC, now,
+                                          f"core{event.core_id}",
+                                          args={"block": event.block,
+                                                "aliased": True})
                     else:
                         event.outcome = Outcome.DETECTED_RECOVERED
                         event.detection_latency = max(0, now - event.cycle)
+                        if self._ev is not None:
+                            self._ev.emit(FAULT_DETECTED, now,
+                                          f"core{event.core_id}",
+                                          args={"block": event.block,
+                                                "group": group,
+                                                "latency":
+                                                    event.detection_latency})
+                        self._met.histogram(
+                            "reunion.detection.latency").observe(
+                                event.detection_latency)
                     check.corrupted_groups.discard(group)
                     resolved.append(event)
                     break
@@ -244,6 +289,10 @@ class ReunionSystem(DualCoreSystem):
         """Squash both cores back to their committed (verified) state."""
         self.rollbacks += 1
         penalty = self.params.rollback_penalty
+        if self._ev is not None:
+            self._ev.emit(ROLLBACK, now, "check", dur=penalty,
+                          args={"group": group})
+        self._met.histogram("reunion.rollback.penalty").observe(penalty)
         committed = []
         for core_id, pipeline in enumerate(self.pipelines):
             pipeline.flush_pipeline()
@@ -256,19 +305,42 @@ class ReunionSystem(DualCoreSystem):
         self.rollback_cycles_total += penalty
 
     # -- results ---------------------------------------------------------------
-    def extra_stats(self) -> dict:
+    #: legacy `extra` keys, derived from the named telemetry counters
+    LEGACY_EXTRA = {
+        "fingerprints_compared": "reunion.fingerprint.compared",
+        "mismatches": "reunion.fingerprint.mismatches",
+        "aliased_corruptions": "reunion.fingerprint.aliased",
+        "rollbacks": "reunion.rollback.count",
+        "rollback_cycles": "reunion.rollback.cycles",
+        "csb_full_stalls": "reunion.csb.full_stalls",
+        "serializing_drains": "reunion.serializing.drain_stalls",
+        "incoherence_events": "reunion.incoherence.events",
+        "incoherence_syncs": "reunion.incoherence.syncs",
+        "incoherence_cycles": "reunion.incoherence.cycles",
+    }
+
+    def scheme_metrics(self) -> Dict[str, float]:
         return {
-            "fingerprints_compared": float(self.check.fingerprints_compared),
-            "mismatches": float(self.check.mismatches),
-            "aliased_corruptions": float(self.check.aliased_corruptions),
-            "rollbacks": float(self.rollbacks),
-            "rollback_cycles": float(self.rollback_cycles_total),
-            "csb_full_stalls": float(sum(c.full_stalls for c in self.csbs)),
-            "serializing_drains": float(
+            "reunion.fingerprint.compared": float(
+                self.check.fingerprints_compared),
+            "reunion.fingerprint.mismatches": float(self.check.mismatches),
+            "reunion.fingerprint.aliased": float(
+                self.check.aliased_corruptions),
+            "reunion.rollback.count": float(self.rollbacks),
+            "reunion.rollback.cycles": float(self.rollback_cycles_total),
+            "reunion.csb.pushes": float(self.csbs[0].pushes),
+            "reunion.csb.full_stalls": float(
+                sum(c.full_stalls for c in self.csbs)),
+            "reunion.csb.max_occupancy": float(
+                max(c.max_occupancy for c in self.csbs)),
+            "reunion.serializing.drain_stalls": float(
                 self.pipelines[0].stats.dispatch_stall_gate),
-            "incoherence_events": float(self.incoherence_events),
-            "incoherence_syncs": float(self.incoherence_syncs),
-            "incoherence_cycles": float(self.incoherence_cycles),
+            "reunion.store_queue.pushes": float(self.store_queue.pushes),
+            "reunion.store_queue.full_stalls": float(
+                self.store_queue.full_stalls),
+            "reunion.incoherence.events": float(self.incoherence_events),
+            "reunion.incoherence.syncs": float(self.incoherence_syncs),
+            "reunion.incoherence.cycles": float(self.incoherence_cycles),
         }
 
     def result(self):

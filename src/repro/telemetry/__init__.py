@@ -1,0 +1,71 @@
+"""repro.telemetry — unified metrics, event tracing, and profiling.
+
+One :class:`Telemetry` object bundles the two sinks the simulators feed:
+
+* ``telemetry.metrics`` — a hierarchical :class:`MetricsRegistry`
+  (counters / gauges / histograms);
+* ``telemetry.events`` — a bounded :class:`EventLog` of typed, tracked
+  events exportable as JSONL or Chrome trace-event JSON.
+
+Systems take ``telemetry=None`` (the default: disabled). Hot paths bind
+``events`` once and use the ``if sink is not None`` idiom from
+``core/pipeline.py``, so a disabled run pays at most a handful of
+``None`` checks on already-cold branches; warm paths may instead go
+through :data:`NULL` whose instruments are shared no-ops.
+
+Usage::
+
+    from repro.telemetry import Telemetry
+    from repro.telemetry.chrome import write_chrome
+
+    tel = Telemetry()
+    res = UnSyncSystem(program, telemetry=tel,
+                       injector=FaultInjector(2e-3, seed=3)).run()
+    write_chrome(tel.events, "trace.json")   # open in ui.perfetto.dev
+    tel.metrics.snapshot()                   # JSON-ready metric dump
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.events import EventLog
+from repro.telemetry.metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, NullRegistry, NULL_REGISTRY,
+    DEFAULT_BUCKETS,
+)
+
+
+class Telemetry:
+    """Live telemetry: a metrics registry plus an event log."""
+
+    enabled = True
+
+    def __init__(self, events_limit: int = 200_000) -> None:
+        self.metrics = MetricsRegistry()
+        self.events: Optional[EventLog] = EventLog(limit=events_limit)
+
+
+class NullTelemetry:
+    """Disabled telemetry: no-op metrics, no event log.
+
+    ``events`` is ``None`` (not a null object) on purpose: hot paths test
+    ``if events is not None`` and skip instrumentation entirely.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.metrics = NULL_REGISTRY
+        self.events: Optional[EventLog] = None
+
+
+#: shared disabled-telemetry instance
+NULL = NullTelemetry()
+
+__all__ = [
+    "Telemetry", "NullTelemetry", "NULL",
+    "MetricsRegistry", "NullRegistry", "NULL_REGISTRY",
+    "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
+    "EventLog",
+]

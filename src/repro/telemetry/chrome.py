@@ -1,0 +1,111 @@
+"""Chrome trace-event JSON export (Perfetto / chrome://tracing).
+
+The export uses the JSON-object flavour of the trace-event format: a
+top-level ``traceEvents`` array plus free-form metadata keys. Each
+telemetry track becomes one "thread" (``tid``), named via ``ph: "M"``
+``thread_name`` metadata, so the viewer shows one row per hardware
+structure. Spans map to complete events (``ph: "X"``, ``ts`` + ``dur``),
+instants to ``ph: "i"`` with thread scope.
+
+Simulation cycles are written 1:1 as trace microseconds (the viewer's
+native unit), so 1 us on screen == 1 simulated cycle.
+
+``validate_chrome`` is the acceptance check: parseable, structurally
+sound, and per-track monotonic timestamps — the invariant the emission
+rules in :mod:`repro.telemetry.events` exist to uphold.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Union
+
+from repro.telemetry.events import Event
+
+#: single simulated process id in the trace
+PID = 1
+
+
+def to_chrome(events: Iterable[Event]) -> Dict:
+    """Convert an event stream to a Chrome trace-event JSON object."""
+    trace: List[Dict] = []
+    tids: Dict[str, int] = {}
+    for e in events:
+        tid = tids.get(e.track)
+        if tid is None:
+            tid = tids[e.track] = len(tids)
+            trace.append({"ph": "M", "name": "thread_name", "pid": PID,
+                          "tid": tid, "args": {"name": e.track}})
+        rec: Dict = {"name": e.name, "cat": e.name.split(".", 1)[0],
+                     "pid": PID, "tid": tid, "ts": float(e.ts)}
+        if e.dur is not None:
+            rec["ph"] = "X"
+            rec["dur"] = float(e.dur)
+        else:
+            rec["ph"] = "i"
+            rec["s"] = "t"
+        if e.args:
+            rec["args"] = dict(e.args)
+        trace.append(rec)
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ns",
+        "otherData": {"time_unit": "1 trace us == 1 simulated cycle"},
+    }
+
+
+def write_chrome(events: Iterable[Event], path: str) -> Dict:
+    doc = to_chrome(events)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+def validate_chrome(doc_or_path: Union[Dict, str]) -> List[str]:
+    """Structural + monotonicity check; returns problems (empty = valid)."""
+    if isinstance(doc_or_path, str):
+        try:
+            with open(doc_or_path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            return [f"unreadable trace: {exc}"]
+    else:
+        doc = doc_or_path
+    problems: List[str] = []
+    trace = doc.get("traceEvents")
+    if not isinstance(trace, list):
+        return ["no traceEvents array"]
+    last_ts: Dict[int, float] = {}
+    named: Dict[int, str] = {}
+    for i, rec in enumerate(trace):
+        if not isinstance(rec, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = rec.get("ph")
+        if ph == "M":
+            if rec.get("name") == "thread_name":
+                named[rec.get("tid", -1)] = rec.get("args", {}).get(
+                    "name", "?")
+            continue
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in rec:
+                problems.append(f"event {i}: missing {key!r}")
+        tid = rec.get("tid")
+        ts = rec.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: non-numeric ts {ts!r}")
+            continue
+        if tid not in named:
+            problems.append(f"event {i}: tid {tid} has no thread_name "
+                            f"metadata")
+        if ph == "X" and not isinstance(rec.get("dur"), (int, float)):
+            problems.append(f"event {i}: complete event without numeric dur")
+        prev = last_ts.get(tid)
+        if prev is not None and ts < prev:
+            problems.append(
+                f"event {i} ({rec.get('name')}): ts {ts} < {prev} on track "
+                f"{named.get(tid, tid)!r} — timestamps must be monotonic "
+                f"per track")
+        last_ts[tid] = ts
+    return problems

@@ -1,0 +1,84 @@
+"""Summarisation backend of ``repro metrics summarize``.
+
+Two input shapes, auto-detected:
+
+* a **metrics snapshot** JSON (written by ``repro trace run --metrics``
+  or ``MetricsRegistry.snapshot()``): counters/gauges/histograms for one
+  run;
+* a **campaign store** JSONL (``repro campaign run --store``): the
+  per-trial integral metric rollups are summed per cell and in total.
+
+Both reduce to one dict shape so the CLI renders them uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+
+def _is_snapshot(doc: Dict) -> bool:
+    return isinstance(doc, dict) and "counters" in doc
+
+
+def summarize_snapshot(doc: Dict) -> Dict:
+    """Normalise one run's metrics snapshot."""
+    hists = {
+        name: {"count": h.get("count", 0), "mean": h.get("mean", 0.0)}
+        for name, h in sorted(doc.get("histograms", {}).items())}
+    return {
+        "kind": "snapshot",
+        "counters": dict(sorted(doc.get("counters", {}).items())),
+        "gauges": dict(sorted(doc.get("gauges", {}).items())),
+        "histograms": hists,
+    }
+
+
+def summarize_store(path: str) -> Dict:
+    """Sum the per-trial metric rollups of a campaign store per cell.
+
+    Only integral counters ever enter trial records (see
+    ``campaign.trial``), so sums are exact and order-independent.
+    """
+    from repro.campaign.store import ResultStore
+
+    store = ResultStore(path)
+    cells: Dict[str, Dict[str, int]] = {}
+    trials: Dict[str, int] = {}
+    totals: Dict[str, int] = {}
+    n = 0
+    for record in store.iter_trials():
+        n += 1
+        cell = record["cell"]
+        trials[cell] = trials.get(cell, 0) + 1
+        per_cell = cells.setdefault(cell, {})
+        for name, value in record.get("metrics", {}).items():
+            value = int(value)
+            per_cell[name] = per_cell.get(name, 0) + value
+            totals[name] = totals.get(name, 0) + value
+    return {
+        "kind": "campaign",
+        "trials": n,
+        "cells": {c: {"trials": trials[c],
+                      "metrics": dict(sorted(m.items()))}
+                  for c, m in sorted(cells.items())},
+        "totals": dict(sorted(totals.items())),
+    }
+
+
+def summarize_path(path: str) -> Dict:
+    """Auto-detect the input shape and summarise."""
+    if path.endswith(".jsonl"):
+        return summarize_store(path)
+    with open(path) as fh:
+        first = fh.read(1)
+        fh.seek(0)
+        if first == "{":
+            try:
+                doc = json.load(fh)
+            except json.JSONDecodeError:
+                doc = None
+            if doc is not None and _is_snapshot(doc):
+                return summarize_snapshot(doc)
+    # fall back: treat as a JSONL store regardless of extension
+    return summarize_store(path)

@@ -54,6 +54,8 @@ class CommBuffer:
         self.pushes = 0
         self.drains = 0
         self.full_stalls = 0
+        #: high-water mark (the Figure 6 sizing question, measured)
+        self.max_occupancy = 0
 
     @classmethod
     def from_kilobytes(cls, kb: float, entry_bytes: int = ENTRY_BYTES) -> "CommBuffer":
@@ -85,6 +87,8 @@ class CommBuffer:
             raise ValueError("CB entries must arrive in retirement order")
         self._fifo.append(entry)
         self.pushes += 1
+        if len(self._fifo) > self.max_occupancy:
+            self.max_occupancy = len(self._fifo)
 
     def head(self) -> Optional[CBEntry]:
         return self._fifo[0] if self._fifo else None

@@ -22,6 +22,11 @@ from repro.faults.injector import (
 from repro.isa.program import Program
 from repro.mem.cache import WritePolicy
 from repro.redundancy.pair import DualCoreSystem
+from repro.telemetry import Telemetry
+from repro.telemetry.events import (
+    CB_DRAIN, CB_GATE, EIH_INTERRUPT, EIH_RECOVERY, FAULT_DETECTED,
+    FAULT_INJECTED, FAULT_SDC,
+)
 from repro.unsync.comm_buffer import CBEntry, CommBuffer
 from repro.unsync.eih import EIHConfig, ErrorInterruptHandler
 from repro.unsync.recovery import RecoveryCostModel
@@ -54,10 +59,24 @@ class _UnSyncGate(CommitGate):
         #: this core's CB, bound once (the CommBuffer object is stable;
         #: recovery mutates its contents, never replaces it)
         self._cb = system.cbs[core_id]
+        #: telemetry event sink (None when disabled) and the open
+        #: commit-stall episode, reported as one cb.gate span per episode
+        #: rather than one event per stalled cycle
+        self._ev = system._ev
+        self._ev_track = f"core{core_id}.cb"
+        self._stall_start: Optional[int] = None
 
     def can_commit(self, entry: ROBEntry, now: int) -> bool:
         if entry.ins.is_store:
-            return self._cb.can_accept()
+            if self._cb.can_accept():
+                if self._stall_start is not None:
+                    self._ev.emit(CB_GATE, self._stall_start, self._ev_track,
+                                  dur=now - self._stall_start)
+                    self._stall_start = None
+                return True
+            if self._ev is not None and self._stall_start is None:
+                self._stall_start = now
+            return False
         return True
 
     def on_commit(self, entry: ROBEntry, now: int) -> None:
@@ -78,6 +97,7 @@ class UnSyncSystem(DualCoreSystem):
                  injector: Optional[FaultInjector] = None,
                  detectors: Optional[Dict[str, Detector]] = None,
                  name: Optional[str] = None,
+                 telemetry: Optional[Telemetry] = None,
                  **uncore) -> None:
         self.unsync = unsync or UnSyncConfig()
         self.cbs: List[CommBuffer] = [
@@ -96,7 +116,8 @@ class UnSyncSystem(DualCoreSystem):
             raise ValueError(
                 "UnSync requires a write-through L1 D-cache (see Figure 2's "
                 "unrecoverable write-back scenario)")
-        super().__init__(program, cfg, name=name, **uncore)
+        super().__init__(program, cfg, name=name, telemetry=telemetry,
+                         **uncore)
         if self.injector is not None:
             # Injected runs must keep the commit-time image an independent
             # re-execution, never a replay of fetch-time records.
@@ -123,6 +144,7 @@ class UnSyncSystem(DualCoreSystem):
         cb0, cb1 = self.cbs
         f0 = cb0._fifo
         f1 = cb1._fifo
+        drained = 0
         while f0 and f1:
             h0 = f0[0]
             h1 = f1[0]
@@ -135,8 +157,12 @@ class UnSyncSystem(DualCoreSystem):
                 break
             cb0.pop()
             cb1.pop()
+            drained += 1
             # one copy of the data goes to the ECC L2
             self.l2.access(h0.addr + self.addr_offset, is_write=True, now=now)
+        if drained and self._ev is not None:
+            self._ev.emit(CB_DRAIN, now, "cb",
+                          args={"n": drained, "left": len(f0)})
 
     # -- faults ---------------------------------------------------------------
     def _arm_next_strike(self, now: int) -> None:
@@ -156,6 +182,10 @@ class UnSyncSystem(DualCoreSystem):
             result = detector.check(1)
             event = FaultEvent(cycle=now, core_id=core_id,
                                block=strike.block, bit=strike.bit)
+            if self._ev is not None:
+                self._ev.emit(FAULT_INJECTED, now, f"core{core_id}",
+                              args={"block": strike.block,
+                                    "bit": strike.bit})
             if result.detected or result.corrected:
                 if result.corrected:
                     # e.g. SECDED on a block: fixed in place, no recovery
@@ -166,8 +196,18 @@ class UnSyncSystem(DualCoreSystem):
                     self.eih.raise_interrupt(now + result.latency_cycles,
                                              core_id, strike.block)
                     event.outcome = Outcome.DETECTED_RECOVERED
+                if self._ev is not None:
+                    self._ev.emit(FAULT_DETECTED, now, f"core{core_id}",
+                                  args={"block": strike.block,
+                                        "latency": result.latency_cycles,
+                                        "corrected": result.corrected})
+                self._met.histogram("unsync.detection.latency").observe(
+                    result.latency_cycles)
             else:
                 event.outcome = Outcome.SDC
+                if self._ev is not None:
+                    self._ev.emit(FAULT_SDC, now, f"core{core_id}",
+                                  args={"block": strike.block})
             self.fault_events.append(event)
             self._arm_next_strike(now)
 
@@ -188,6 +228,20 @@ class UnSyncSystem(DualCoreSystem):
             p.frozen_until = max(p.frozen_until, freeze_until)
         self._recovering_until = freeze_until
         self.recovery_cycles_total += plan.total_cycles
+        if self._ev is not None:
+            # emitted at `now` (poll time), keeping the eih track monotonic
+            # even though the interrupt was *raised* detection-latency ago
+            self._ev.emit(EIH_INTERRUPT, now, "eih",
+                          args={"core": bad_core, "block": block})
+            self._ev.emit(EIH_RECOVERY, now, "eih", dur=plan.total_cycles,
+                          args={"core": bad_core, "block": block,
+                                "stall": plan.stall_cycles,
+                                "flush": plan.flush_cycles,
+                                "regfile_copy": plan.regfile_copy_cycles,
+                                "l1_copy": plan.l1_copy_cycles,
+                                "cb_copy": plan.cb_copy_cycles})
+        self._met.histogram("unsync.recovery.duration").observe(
+            plan.total_cycles)
 
         # steps 2-3: flush the erroneous pipeline, adopt the clean state
         bad.flush_pipeline()
@@ -211,13 +265,26 @@ class UnSyncSystem(DualCoreSystem):
             self.fault_events[-1].recovery_cycles = plan.total_cycles
 
     # -- results ------------------------------------------------------------
-    def extra_stats(self) -> dict:
+    #: legacy `extra` keys, derived from the named telemetry counters
+    LEGACY_EXTRA = {
+        "cb_full_stalls": "unsync.cb.full_stalls",
+        "cb_pushes": "unsync.cb.pushes",
+        "cb_drains": "unsync.cb.drains",
+        "recoveries": "unsync.eih.recoveries",
+        "recovery_cycles": "unsync.recovery.cycles",
+    }
+
+    def scheme_metrics(self) -> Dict[str, float]:
         return {
-            "cb_full_stalls": float(sum(cb.full_stalls for cb in self.cbs)),
-            "cb_pushes": float(self.cbs[0].pushes),
-            "cb_drains": float(self.cbs[0].drains),
-            "recoveries": float(self.eih.recoveries_signalled),
-            "recovery_cycles": float(self.recovery_cycles_total),
+            "unsync.cb.pushes": float(self.cbs[0].pushes),
+            "unsync.cb.drains": float(self.cbs[0].drains),
+            "unsync.cb.full_stalls": float(
+                sum(cb.full_stalls for cb in self.cbs)),
+            "unsync.cb.max_occupancy": float(
+                max(cb.max_occupancy for cb in self.cbs)),
+            "unsync.eih.interrupts": float(self.eih.interrupts_received),
+            "unsync.eih.recoveries": float(self.eih.recoveries_signalled),
+            "unsync.recovery.cycles": float(self.recovery_cycles_total),
         }
 
     def result(self):

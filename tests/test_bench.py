@@ -6,14 +6,15 @@ import pytest
 
 from repro.harness import bench
 from repro.harness.bench import (
-    BenchResult, REFERENCE_SCENARIO, SCENARIOS,
+    BenchBaselineError, BenchResult, REFERENCE_SCENARIO, SCENARIOS,
     check_regression, load_report, run_bench, to_report, write_report,
 )
 
 
 def test_scenario_registry():
     assert set(SCENARIOS) == {"golden", "baseline-core", "unsync-pair",
-                              "reunion-pair", "campaign-smoke"}
+                              "reunion-pair", "telemetry-pair",
+                              "campaign-smoke"}
     assert REFERENCE_SCENARIO in SCENARIOS
 
 
@@ -89,9 +90,75 @@ def test_check_regression_absolute_mode():
 
 
 def test_check_regression_skips_scenarios_missing_from_baseline():
-    base = _report(golden=100_000)
-    cur = _report(golden=100_000, **{"unsync-pair": 10_000})
+    base = _report(golden=100_000, **{"unsync-pair": 10_000})
+    cur = _report(golden=100_000, **{"unsync-pair": 10_000,
+                                     "telemetry-pair": 9_000})
+    # telemetry-pair is new this PR: skipped, not failed
     assert check_regression(cur, base) == []
+
+
+def test_check_regression_rejects_disjoint_scenario_sets():
+    base = _report(golden=100_000, **{"unsync-pair": 10_000})
+    cur = _report(golden=100_000, **{"reunion-pair": 10_000})
+    with pytest.raises(BenchBaselineError, match="no scenarios comparable"):
+        check_regression(cur, base)
+    # a golden-only baseline compares nothing in relative mode either
+    with pytest.raises(BenchBaselineError):
+        check_regression(cur, _report(golden=100_000))
+
+
+def test_relative_check_requires_golden():
+    base = _report(golden=100_000, **{"unsync-pair": 10_000})
+    cur = _report(**{"unsync-pair": 10_000})
+    with pytest.raises(BenchBaselineError, match="reference scenario"):
+        check_regression(cur, base)
+
+
+def test_load_report_rejects_invalid_json(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text("{not json")
+    with pytest.raises(BenchBaselineError, match="not valid JSON"):
+        load_report(str(path))
+
+
+def test_relative_index_uses_median_of_round_ratios():
+    # golden round 2 is 10x slower (machine-load spike). The aggregate
+    # best-of quotient would be unaffected, but a spike on the *scenario*
+    # side would tank it; the per-round median shrugs either off.
+    results = [
+        BenchResult("golden", instructions=1000, cycles=0, seconds=0.01,
+                    repeats=3, round_seconds=(0.01, 0.1, 0.01)),
+        BenchResult("unsync-pair", instructions=1000, cycles=0, seconds=0.1,
+                    repeats=3, round_seconds=(0.1, 1.0, 0.1)),
+    ]
+    report = to_report(results, quick=False)
+    idx = bench._relative_index(report["scenarios"])
+    # every round agrees: unsync runs at 0.1x golden throughput
+    assert idx["unsync-pair"] == pytest.approx(0.1)
+    # drift hitting one side of one round moves the median only slightly
+    skewed = [
+        BenchResult("golden", instructions=1000, cycles=0, seconds=0.01,
+                    repeats=3, round_seconds=(0.01, 0.01, 0.01)),
+        BenchResult("unsync-pair", instructions=1000, cycles=0, seconds=0.1,
+                    repeats=3, round_seconds=(0.1, 1.0, 0.1)),
+    ]
+    idx = bench._relative_index(to_report(skewed, quick=False)["scenarios"])
+    assert idx["unsync-pair"] == pytest.approx(0.1)
+
+
+def test_relative_index_falls_back_without_round_data():
+    # reports written before round timing existed have no round_seconds
+    base = _report(golden=100_000, **{"unsync-pair": 10_000})
+    for rec in base["scenarios"].values():
+        del rec["round_seconds"]
+    idx = bench._relative_index(base["scenarios"])
+    assert idx["unsync-pair"] == pytest.approx(0.1)
+
+
+def test_run_bench_records_round_seconds():
+    results = run_bench(["golden"], quick=True, repeat=2)
+    assert len(results[0].round_seconds) == 2
+    assert results[0].seconds == min(results[0].round_seconds)
 
 
 def test_regression_threshold_boundary():

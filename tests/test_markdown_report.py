@@ -67,7 +67,7 @@ def test_cli_sweep(capsys):
 
 
 def test_cli_trace(capsys):
-    rc = main(["trace", "fibonacci", "--count", "8"])
+    rc = main(["trace", "diagram", "fibonacci", "--count", "8"])
     out = capsys.readouterr().out
     assert rc == 0
     assert "mean completed-to-retire wait" in out
