@@ -32,7 +32,8 @@ from repro.campaign.progress import ProgressTracker, Ticker
 from repro.campaign.spec import CampaignError, CampaignSpec, \
     PROTECTED_SCHEMES, TrialSpec, cell_id
 from repro.campaign.store import ResultStore, StoreCorruption
-from repro.campaign.trial import TrialResult, run_trial
+from repro.campaign.trial import TrialResult, classify_trial, crash_result, \
+    hang_result, run_trial
 
 __all__ = [
     "Aggregator", "CellAggregate",
@@ -42,5 +43,6 @@ __all__ = [
     "CampaignError", "CampaignSpec", "PROTECTED_SCHEMES", "TrialSpec",
     "cell_id",
     "ResultStore", "StoreCorruption",
-    "TrialResult", "run_trial",
+    "TrialResult", "classify_trial", "crash_result", "hang_result",
+    "run_trial",
 ]

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.campaign.trial import TrialResult
+from repro.faults.events import TRIAL_OUTCOMES
 from repro.harness.statistics import Interval, wilson_interval
 
 
@@ -41,6 +42,9 @@ class CellAggregate:
     clean_trials: int = 0
     #: raw event counts per Outcome.value
     events: Dict[str, int] = field(default_factory=dict)
+    #: whole-trial taxonomy label -> trial count (every trial lands in
+    #: exactly ONE bucket of TRIAL_OUTCOMES; sums to ``trials``)
+    outcome_trials: Dict[str, int] = field(default_factory=dict)
     #: summed per-trial telemetry counters (integers -> exact merges)
     metrics: Dict[str, int] = field(default_factory=dict)
 
@@ -54,6 +58,8 @@ class CellAggregate:
         self.due_trials += 1 if result.suffered_due else 0
         self.recovered_trials += 1 if result.recovered else 0
         self.clean_trials += 1 if result.strikes == 0 else 0
+        label = result.taxonomy
+        self.outcome_trials[label] = self.outcome_trials.get(label, 0) + 1
         for key, count in result.outcomes.items():
             self.events[key] = self.events.get(key, 0) + count
         for key, value in result.metrics.items():
@@ -76,6 +82,22 @@ class CellAggregate:
     def recovered_interval(self) -> Interval:
         return self.proportion(self.recovered_trials)
 
+    @property
+    def hang_trials(self) -> int:
+        return self.outcome_trials.get("hang", 0)
+
+    @property
+    def crash_trials(self) -> int:
+        return self.outcome_trials.get("crash", 0)
+
+    @property
+    def hang_interval(self) -> Interval:
+        return self.proportion(self.hang_trials)
+
+    @property
+    def crash_interval(self) -> Interval:
+        return self.proportion(self.crash_trials)
+
     def ci_met(self, halfwidth: Optional[float]) -> bool:
         """Sequential early-stop test on the SDC proportion's CI."""
         if halfwidth is None or self.trials == 0:
@@ -89,9 +111,13 @@ class CellAggregate:
             "strikes": self.strikes,
             "clean_trials": self.clean_trials,
             "events": dict(sorted(self.events.items())),
+            "outcomes_by_trial": {label: self.outcome_trials.get(label, 0)
+                                  for label in TRIAL_OUTCOMES},
             "p_sdc": _interval_dict(self.sdc_interval),
             "p_due": _interval_dict(self.due_interval),
             "p_recovered": _interval_dict(self.recovered_interval),
+            "p_hang": _interval_dict(self.hang_interval),
+            "p_crash": _interval_dict(self.crash_interval),
             "mean_cycles": mean(self.cycles),
             "mean_recovery_cycles": mean(self.recovery_cycles),
             "ipc": (self.instructions / self.cycles if self.cycles else 0.0),
@@ -135,5 +161,7 @@ class Aggregator:
             "due_trials": sum(self.cells[c].due_trials for c in cells),
             "recovered_trials": sum(self.cells[c].recovered_trials
                                     for c in cells),
+            "hang_trials": sum(self.cells[c].hang_trials for c in cells),
+            "crash_trials": sum(self.cells[c].crash_trials for c in cells),
         }
         return {"cells": cells, "totals": totals}

@@ -182,8 +182,9 @@ def run_campaign(spec: CampaignSpec,
             report.worker_failures += wave_report.worker_failures
             report.retries += wave_report.retries
             report.timeouts += wave_report.timeouts
+            report.crashes += wave_report.crashes
             tracker.absorb(wave_report.worker_failures, wave_report.retries,
-                           wave_report.timeouts)
+                           wave_report.timeouts, wave_report.crashes)
             if wave_report.degraded_to_serial:
                 workers = 1  # the pool is gone; stay serial from here on
     finally:

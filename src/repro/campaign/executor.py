@@ -6,7 +6,9 @@ submission order. Failure policy:
 
 * a trial that raises (or times out) in a worker is retried **once**,
   in-process, where the full traceback is visible;
-* a second failure raises :class:`TrialFailure` with the trial attached;
+* a second failure records the trial as a ``CRASH`` outcome (traceback
+  attached) instead of aborting the grid — one pathological seed costs
+  one data point, not the campaign;
 * a broken pool (worker SIGKILLed, interpreter mismatch, ...) degrades
   the rest of the campaign to serial execution instead of dying.
 
@@ -17,6 +19,7 @@ degradation cannot change any number — only wall-clock time.
 from __future__ import annotations
 
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as \
     FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -24,11 +27,16 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.campaign.spec import TrialSpec
-from repro.campaign.trial import TrialResult, run_trial
+from repro.campaign.trial import TrialResult, crash_result, run_trial
 
 
 class TrialFailure(RuntimeError):
-    """A trial failed its worker run *and* its in-process retry."""
+    """A trial failed its worker run *and* its in-process retry.
+
+    No longer raised by :func:`execute_trials` (a doubly-failed trial is
+    recorded as a ``CRASH`` result instead); kept because external
+    callers may still catch it.
+    """
 
     def __init__(self, trial: TrialSpec, cause: BaseException) -> None:
         super().__init__(f"trial {trial} failed twice: {cause!r}")
@@ -43,6 +51,8 @@ class ExecutionReport:
     worker_failures: int = 0
     retries: int = 0
     timeouts: int = 0
+    #: trials recorded as CRASH after failing their run AND the retry
+    crashes: int = 0
     degraded_to_serial: bool = False
 
 
@@ -59,7 +69,10 @@ def _retry(trial: TrialSpec, runner: Callable[[TrialSpec], TrialResult],
         return runner(trial)
     except Exception as exc:
         report.worker_failures += 1
-        raise TrialFailure(trial, exc) from first_error
+        report.crashes += 1
+        cause = "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+        return crash_result(trial, f"first: {first_error!r}\nretry:\n{cause}")
 
 
 def _execute_serial(trials: Sequence[TrialSpec],

@@ -29,6 +29,7 @@ class ProgressTracker:
         self.worker_failures = 0
         self.retries = 0
         self.timeouts = 0
+        self.crashes = 0
         self.cells_total = 0
         self.cells_finished = 0
         #: cell -> (done, planned) for per-cell ETA
@@ -62,10 +63,11 @@ class ProgressTracker:
         self.cells_finished += 1
 
     def absorb(self, worker_failures: int, retries: int,
-               timeouts: int) -> None:
+               timeouts: int, crashes: int = 0) -> None:
         self.worker_failures += worker_failures
         self.retries += retries
         self.timeouts += timeouts
+        self.crashes += crashes
 
     # -- derived ------------------------------------------------------------
     @property
@@ -117,6 +119,7 @@ class ProgressTracker:
             "worker_failures": self.worker_failures,
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "crashes": self.crashes,
             "cells": {cell: {"done": done, "planned": planned,
                              "eta_seconds": self.cell_eta_seconds(cell)}
                       for cell, (done, planned) in sorted(self._cells.items())},

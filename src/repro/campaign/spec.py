@@ -43,6 +43,14 @@ class TrialSpec:
     #: per-cycle strike rate fed to :class:`repro.faults.injector.FaultInjector`
     ser: float
     seed: int
+    #: ``"standard"`` (isolated single-bit upsets) or ``"adversarial"``
+    #: (multi-bit clusters, paired-core strikes, recovery chasing — see
+    #: :mod:`repro.faults.adversarial`)
+    fault_model: str = "standard"
+    #: cycle-budget watchdog for this trial's simulation (``None`` keeps
+    #: the runner's generous default); a tripped watchdog classifies the
+    #: trial as ``HANG``
+    watchdog_cycles: Optional[int] = None
 
     @property
     def cell(self) -> str:
@@ -70,6 +78,10 @@ class CampaignSpec:
     ci_halfwidth: Optional[float] = None
     #: trials per scheduling batch / early-stop decision boundary
     batch: int = 25
+    #: fault model every trial uses (``"standard"`` or ``"adversarial"``)
+    fault_model: str = "standard"
+    #: per-trial cycle-budget watchdog (None = runner default)
+    watchdog_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "schemes", tuple(self.schemes))
@@ -92,6 +104,13 @@ class CampaignSpec:
             raise CampaignError("batch must be positive")
         if self.ci_halfwidth is not None and not 0 < self.ci_halfwidth < 1:
             raise CampaignError("ci_halfwidth must be in (0, 1)")
+        from repro.faults.adversarial import FAULT_MODELS
+        if self.fault_model not in FAULT_MODELS:
+            raise CampaignError(
+                f"fault_model {self.fault_model!r} unknown "
+                f"(choose from {FAULT_MODELS})")
+        if self.watchdog_cycles is not None and self.watchdog_cycles <= 0:
+            raise CampaignError("watchdog_cycles must be positive")
 
     # -- expansion ----------------------------------------------------------
     def cells(self) -> List[Tuple[str, str, float]]:
@@ -102,7 +121,9 @@ class CampaignSpec:
     def cell_trials(self, scheme: str, workload: str,
                     ser: float) -> List[TrialSpec]:
         """One cell's trials in seed order."""
-        return [TrialSpec(scheme, workload, ser, self.seed_base + i)
+        return [TrialSpec(scheme, workload, ser, self.seed_base + i,
+                          fault_model=self.fault_model,
+                          watchdog_cycles=self.watchdog_cycles)
                 for i in range(self.trials)]
 
     def expand(self) -> List[TrialSpec]:
@@ -131,6 +152,8 @@ class CampaignSpec:
             "seed_base": self.seed_base,
             "ci_halfwidth": self.ci_halfwidth,
             "batch": self.batch,
+            "fault_model": self.fault_model,
+            "watchdog_cycles": self.watchdog_cycles,
         }
 
     @classmethod
@@ -142,6 +165,8 @@ class CampaignSpec:
                        trials=int(data["trials"]),
                        seed_base=int(data.get("seed_base", 0)),
                        ci_halfwidth=data.get("ci_halfwidth"),
-                       batch=int(data.get("batch", 25)))
+                       batch=int(data.get("batch", 25)),
+                       fault_model=data.get("fault_model", "standard"),
+                       watchdog_cycles=data.get("watchdog_cycles"))
         except KeyError as exc:
             raise CampaignError(f"spec record missing field {exc}") from exc

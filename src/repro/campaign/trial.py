@@ -11,13 +11,34 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.campaign.spec import TrialSpec
 from repro.faults.events import Outcome
 
 #: outcome keys in record order (FaultEvent outcomes plus derived ones)
 OUTCOME_KEYS: Tuple[str, ...] = tuple(o.value for o in Outcome)
+
+
+def classify_trial(outcomes: Dict[str, int]) -> str:
+    """Collapse a trial's per-event outcome counts into ONE taxonomy label.
+
+    Worst-first priority over :data:`~repro.faults.events.TRIAL_OUTCOMES`:
+    ``crash > hang > sdc > due > recovered`` — a trial that both corrupted
+    data *and* flagged a DUE is an SDC trial (the corruption is what
+    escaped detection). A trial whose strikes were all masked or recovered
+    — or that saw no strikes at all — is ``"recovered"``; the aggregate
+    still distinguishes clean trials via strike counts.
+    """
+    if outcomes.get(Outcome.CRASH.value, 0):
+        return "crash"
+    if outcomes.get(Outcome.HANG.value, 0):
+        return "hang"
+    if outcomes.get(Outcome.SDC.value, 0):
+        return "sdc"
+    if outcomes.get(Outcome.DETECTED_UNRECOVERABLE.value, 0):
+        return "due"
+    return "recovered"
 
 
 class _TrialContext:
@@ -89,6 +110,12 @@ class TrialResult:
     #: ``trial_metrics``); integer-summed by the aggregator, so merges
     #: stay exact and order-independent
     metrics: Dict[str, int] = field(default_factory=dict)
+    #: single taxonomy label for the whole trial — one of
+    #: :data:`~repro.faults.events.TRIAL_OUTCOMES` ("" = classify lazily,
+    #: the back-compat path for records written before the taxonomy)
+    outcome: str = ""
+    #: harness-level failure detail (HANG/CRASH trials only)
+    error: Optional[str] = None
 
     @property
     def cell(self) -> str:
@@ -113,9 +140,15 @@ class TrialResult:
     def recovered(self) -> bool:
         return self.count(Outcome.DETECTED_RECOVERED) > 0
 
+    @property
+    def taxonomy(self) -> str:
+        """The trial's single outcome label (classifying lazily when the
+        record predates the taxonomy field)."""
+        return self.outcome or classify_trial(self.outcomes)
+
     # -- JSONL round-trip ---------------------------------------------------
     def to_record(self) -> Dict:
-        return {
+        record = {
             "cell": self.cell,
             "scheme": self.scheme,
             "workload": self.workload,
@@ -127,7 +160,11 @@ class TrialResult:
             "outcomes": {k: v for k, v in sorted(self.outcomes.items()) if v},
             "recovery_cycles": self.recovery_cycles,
             "metrics": {k: v for k, v in sorted(self.metrics.items()) if v},
+            "outcome": self.taxonomy,
         }
+        if self.error is not None:
+            record["error"] = self.error
+        return record
 
     @classmethod
     def from_record(cls, record: Dict) -> "TrialResult":
@@ -142,7 +179,9 @@ class TrialResult:
                              for k, v in record["outcomes"].items()},
                    recovery_cycles=int(record["recovery_cycles"]),
                    metrics={k: int(v)
-                            for k, v in record.get("metrics", {}).items()})
+                            for k, v in record.get("metrics", {}).items()},
+                   outcome=record.get("outcome", ""),
+                   error=record.get("error"))
 
 
 def trial_metrics(run_metrics: Dict[str, float]) -> Dict[str, int]:
@@ -163,6 +202,46 @@ def trial_metrics(run_metrics: Dict[str, float]) -> Dict[str, int]:
     return out
 
 
+def build_injector(trial: TrialSpec):
+    """The injector a trial's ``fault_model`` calls for, seeded from the
+    trial so the run stays a pure function of its :class:`TrialSpec`."""
+    if trial.fault_model == "adversarial":
+        from repro.faults.adversarial import adversarial_injector
+        return adversarial_injector(trial.scheme, trial.ser, seed=trial.seed)
+    from repro.faults.injector import FaultInjector
+    return FaultInjector(trial.ser, seed=trial.seed)
+
+
+def hang_result(trial: TrialSpec, exc) -> TrialResult:
+    """A :class:`TrialResult` for a watchdog-tripped (wedged) simulation.
+
+    The simulation never finished, so per-event adjudication is moot; the
+    whole trial is the single ``HANG`` outcome, keeping the partial cycle
+    and commit counts the watchdog salvaged from the wreck.
+    """
+    return TrialResult(scheme=trial.scheme, workload=trial.workload,
+                       ser=trial.ser, seed=trial.seed,
+                       cycles=int(getattr(exc, "cycles", 0)),
+                       instructions=int(getattr(exc, "committed", 0)),
+                       strikes=0, outcomes={Outcome.HANG.value: 1},
+                       recovery_cycles=0, outcome="hang", error=str(exc))
+
+
+def crash_result(trial: TrialSpec, cause: str) -> TrialResult:
+    """A :class:`TrialResult` for a trial whose *harness* died.
+
+    Recorded so one pathological seed documents itself in the store as a
+    ``CRASH`` instead of aborting the whole grid. ``cause`` keeps the
+    traceback tail for debugging.
+    """
+    return TrialResult(scheme=trial.scheme, workload=trial.workload,
+                       ser=trial.ser, seed=trial.seed,
+                       cycles=0, instructions=0, strikes=0,
+                       outcomes={Outcome.CRASH.value: 1},
+                       recovery_cycles=0, outcome="crash",
+                       error=cause[-2000:])
+
+
 def run_trial(trial: TrialSpec) -> TrialResult:
     """Worker entry point: run one seeded injection trial.
 
@@ -170,12 +249,16 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     pays for what it uses (the same convention as
     ``repro.harness.parallel._run_one``).
     """
-    from repro.faults.injector import FaultInjector
     from repro.harness.runner import run_scheme
+    from repro.redundancy.pair import SimulationHang
 
     program = CONTEXT.program(trial.workload)
-    injector = FaultInjector(trial.ser, seed=trial.seed)
-    res = run_scheme(trial.scheme, program, injector=injector)
+    injector = build_injector(trial)
+    try:
+        res = run_scheme(trial.scheme, program, injector=injector,
+                         max_cycles=trial.watchdog_cycles)
+    except SimulationHang as exc:
+        return hang_result(trial, exc)
     outcomes = Counter(e.outcome.value for e in res.fault_events
                        if e.outcome is not None)
     # UnSync charges recovery_cycles, Reunion rollback_cycles; both are
@@ -187,4 +270,5 @@ def run_trial(trial: TrialSpec) -> TrialResult:
                        cycles=res.cycles, instructions=res.instructions,
                        strikes=len(res.fault_events),
                        outcomes=dict(outcomes), recovery_cycles=recovery,
-                       metrics=trial_metrics(res.metrics))
+                       metrics=trial_metrics(res.metrics),
+                       outcome=classify_trial(dict(outcomes)))

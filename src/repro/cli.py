@@ -440,17 +440,19 @@ def _print_campaign_summary(summary) -> None:
     def iv(d):
         return f"{d['estimate']:.3f} [{d['low']:.3f}, {d['high']:.3f}]"
     rows = [[cell, st["trials"], st["strikes"], iv(st["p_sdc"]),
+             iv(st.get("p_due", st["p_sdc"])),
              iv(st["p_recovered"]), f"{st['mean_recovery_cycles']:.1f}",
              f"{st['ipc']:.3f}"]
             for cell, st in summary.cells.items()]
     print(format_table(
-        ["cell", "trials", "strikes", "P[SDC] 95% CI",
+        ["cell", "trials", "strikes", "P[SDC] 95% CI", "P[DUE] 95% CI",
          "P[recovered] 95% CI", "recovery cyc/trial", "IPC"],
         rows, title="Campaign summary"))
     t = summary.totals
     print(f"totals: {t['trials']} trials, {t['strikes']} strikes, "
-          f"{t['sdc_trials']} SDC trials, "
-          f"{t['recovered_trials']} recovered trials")
+          f"{t['sdc_trials']} SDC trials, {t.get('due_trials', 0)} DUE, "
+          f"{t.get('hang_trials', 0)} hang, {t.get('crash_trials', 0)} "
+          f"crash, {t['recovered_trials']} recovered trials")
     if summary.early_stopped:
         print("early-stopped cells: " + ", ".join(summary.early_stopped))
     if summary.progress is not None:
@@ -496,7 +498,9 @@ def _cmd_campaign_run(args) -> int:
                             sers=tuple(sers), trials=args.trials,
                             seed_base=args.seed_base,
                             ci_halfwidth=args.ci_halfwidth,
-                            batch=args.batch)
+                            batch=args.batch,
+                            fault_model=args.fault_model,
+                            watchdog_cycles=args.watchdog_cycles)
         summary = run_campaign(
             spec, args.store, workers=args.workers, timeout=args.timeout,
             ticker_enabled=True if args.progress else None)
@@ -648,6 +652,15 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--batch", type=int, default=25,
                     help="trials per scheduling batch / early-stop "
                          "decision boundary")
+    cp.add_argument("--fault-model", default="standard",
+                    choices=["standard", "adversarial"],
+                    help="'adversarial' adds multi-bit clusters, "
+                         "paired-core strikes, strikes during recovery, "
+                         "and uncore targets (CB / EIH queue / recovery "
+                         "copy)")
+    cp.add_argument("--watchdog-cycles", type=int, default=None, metavar="N",
+                    help="per-trial cycle budget; a tripped watchdog "
+                         "records the trial as a HANG outcome")
     cp.set_defaults(fn=_cmd_campaign_run)
 
     cp = csub.add_parser("resume", help="continue an interrupted campaign "

@@ -24,7 +24,11 @@ from repro.faults.injector import FaultInjector, Strike, BlockInventory, BLOCKS
 from repro.faults.detection import (
     Detector, ParityDetector, DMRDetector, SECDEDDetector, NoDetector,
 )
-from repro.faults.events import FaultEvent, Outcome
+from repro.faults.events import FaultEvent, Outcome, TRIAL_OUTCOMES
+from repro.faults.adversarial import (
+    ADVERSARIAL_MODEL, AdversarialConfig, AdversarialInjector,
+    FAULT_MODELS, STANDARD_MODEL, adversarial_injector,
+)
 
 __all__ = [
     "SERModel", "fit_to_per_cycle", "fit_to_per_instruction", "scale_fit",
@@ -32,5 +36,7 @@ __all__ = [
     "FaultInjector", "Strike", "BlockInventory", "BLOCKS",
     "Detector", "ParityDetector", "DMRDetector", "SECDEDDetector",
     "NoDetector",
-    "FaultEvent", "Outcome",
+    "FaultEvent", "Outcome", "TRIAL_OUTCOMES",
+    "ADVERSARIAL_MODEL", "AdversarialConfig", "AdversarialInjector",
+    "FAULT_MODELS", "STANDARD_MODEL", "adversarial_injector",
 ]

@@ -19,6 +19,16 @@ class Outcome(enum.Enum):
     DETECTED_UNRECOVERABLE = "detected-unrecoverable"
     #: no detector fired and the architectural output changed
     SDC = "silent-data-corruption"
+    #: trial-level: the simulator wedged past its cycle watchdog budget
+    HANG = "hang"
+    #: trial-level: the simulator (or its worker process) died
+    CRASH = "crash"
+
+
+#: canonical per-trial outcome labels, worst first. Every campaign trial
+#: is classified into exactly one of these (see
+#: :func:`repro.campaign.trial.classify_trial`).
+TRIAL_OUTCOMES = ("crash", "hang", "sdc", "due", "recovered")
 
 
 @dataclass

@@ -71,6 +71,12 @@ UNSYNC_DETECTORS: Dict[str, Detector] = {
     "dtlb": ParityDetector(),
     "l1i_data": ParityDetector(),
     "l1d_data": ParityDetector(),
+    # uncore structures, reachable only under the adversarial inventory
+    # (repro.faults.adversarial): CB entries carry parity like the other
+    # FIFOs; the EIH pending queue and the in-flight recovery copy are
+    # handled specially by UnSyncSystem (a lost interrupt cannot be
+    # "detected" by the thing that lost it).
+    "cb": ParityDetector(),
 }
 
 REUNION_DETECTORS: Dict[str, Detector] = {
@@ -91,11 +97,22 @@ REUNION_DETECTORS: Dict[str, Detector] = {
 
 @dataclass(frozen=True)
 class Strike:
-    """One scheduled particle strike."""
+    """One scheduled particle strike.
+
+    ``flipped_bits`` is the upset cluster size within one protected word
+    (1 for the classic single-event upset; even values defeat 1-bit
+    parity). ``core`` pins the struck core explicitly; ``None`` keeps the
+    legacy derivation (``bit % 2``) so existing stores stay reproducible.
+    """
 
     cycle: int
     block: str
     bit: int
+    flipped_bits: int = 1
+    core: Optional[int] = None
+
+    def core_id(self) -> int:
+        return self.core if self.core is not None else self.bit % 2
 
 
 class BlockInventory:
@@ -156,14 +173,22 @@ class FaultInjector:
         return self._rng.expovariate(self.rate)
 
     def schedule(self, horizon_cycles: int) -> List[Strike]:
-        """All strikes within ``horizon_cycles``."""
+        """All strikes strictly before ``horizon_cycles``.
+
+        A zero rate (or empty horizon) yields an empty schedule without
+        touching the RNG or doing float-infinity arithmetic, and no
+        returned strike ever lands at or beyond the horizon.
+        """
         strikes: List[Strike] = []
+        if self.rate == 0 or horizon_cycles <= 0:
+            return strikes
         t = 0.0
         while True:
             t += self.next_interval()
-            if t >= horizon_cycles:
+            cycle = int(t)
+            if cycle >= horizon_cycles:
                 break
-            strikes.append(self.strike_at(int(t)))
+            strikes.append(self.strike_at(cycle))
         return strikes
 
     def strike_at(self, cycle: int) -> Strike:
@@ -171,3 +196,33 @@ class FaultInjector:
         name = self._rng.choices(self._names, weights=self._weights, k=1)[0]
         bit = self._rng.randrange(self.inventory.get(name).bits)
         return Strike(cycle=cycle, block=name, bit=bit)
+
+    # -- simulator-facing scheduling ----------------------------------------
+    def next_strike(self, now: int) -> Optional[Strike]:
+        """The next strike after cycle ``now`` (``None`` at rate 0).
+
+        This is the hook the pair simulators arm strikes through; the
+        base implementation reproduces the historical draw sequence
+        (interval, block, bit) exactly, so standard campaign stores stay
+        byte-identical. Subclasses may return queued correlated strikes.
+        """
+        interval = self.next_interval()
+        if interval == math.inf:
+            return None
+        return self.strike_at(now + max(1, int(interval)))
+
+    def on_recovery(self, now: int, duration_cycles: int) -> None:
+        """Notification that a recovery/rollback episode began at ``now``
+        and is budgeted ``duration_cycles``. The base injector ignores it;
+        the adversarial injector uses it to chase recoveries with strikes
+        inside the vulnerability window."""
+
+    def preempt(self, armed: Optional[Strike]) -> Optional[Strike]:
+        """Re-arm after :meth:`on_recovery` may have queued new strikes.
+
+        The simulators cache one pre-drawn strike; a correlated strike
+        queued *after* that draw (a recovery chaser) must preempt it or
+        it would be delivered late, outside the window it was aimed at.
+        The base injector never queues, so the armed strike stands.
+        """
+        return armed

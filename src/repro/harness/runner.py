@@ -28,21 +28,25 @@ def run_scheme(scheme: str, program: Program,
                config: Optional[SystemConfig] = None,
                reunion_params: Optional[ReunionParams] = None,
                unsync_config: Optional[UnSyncConfig] = None,
+               max_cycles: Optional[int] = None,
                **kwargs) -> RunResult:
     """Run one scheme on one program.
 
     ``scheme`` is ``"baseline"``, ``"unsync"`` or ``"reunion"``. Extra
     kwargs are forwarded to the system constructor (injector, detectors,
-    csb_entries, ...).
+    csb_entries, ...). ``max_cycles`` tightens the cycle-budget watchdog
+    (the campaign trial runner uses it to classify wedged simulations as
+    ``HANG`` instead of waiting out the generous default).
     """
+    budget = max_cycles if max_cycles is not None else MAX_CYCLES
     if scheme == "baseline":
-        return BaselineSystem(program, config=config, **kwargs).run(MAX_CYCLES)
+        return BaselineSystem(program, config=config, **kwargs).run(budget)
     if scheme == "unsync":
         return UnSyncSystem(program, config=config, unsync=unsync_config,
-                            **kwargs).run(MAX_CYCLES)
+                            **kwargs).run(budget)
     if scheme == "reunion":
         return ReunionSystem(program, config=config, params=reunion_params,
-                             **kwargs).run(MAX_CYCLES)
+                             **kwargs).run(budget)
     raise ValueError(f"unknown scheme {scheme!r}")
 
 

@@ -26,6 +26,25 @@ from repro.mem.l2 import SharedL2
 from repro.mem.prewarm import prewarm_l2
 from repro.redundancy.stats import RunResult, WriteBuffer
 from repro.telemetry import NULL_REGISTRY, Telemetry
+from repro.telemetry.events import WATCHDOG_TRIP
+
+
+class SimulationHang(RuntimeError):
+    """The cycle-budget watchdog fired: the simulated system wedged.
+
+    A ``RuntimeError`` subclass so every historical ``except RuntimeError``
+    / ``pytest.raises(RuntimeError)`` site keeps working, but carries
+    enough context (cycles burned, instructions committed) for the
+    campaign trial runner to classify the run as a ``HANG`` outcome
+    instead of aborting the whole grid. Attributes are plain scalars so
+    the exception pickles cleanly across process-pool workers.
+    """
+
+    def __init__(self, message: str, cycles: int = 0,
+                 committed: int = 0) -> None:
+        super().__init__(message)
+        self.cycles = cycles
+        self.committed = committed
 
 
 class DualCoreSystem:
@@ -131,10 +150,15 @@ class DualCoreSystem:
     def run(self, max_cycles: int = 2_000_000) -> RunResult:
         while not self.finished():
             if self.now >= max_cycles:
-                raise RuntimeError(
+                committed = [p.stats.committed for p in self.pipelines]
+                if self._ev is not None:
+                    self._ev.emit(WATCHDOG_TRIP, self.now, "watchdog",
+                                  args={"budget": max_cycles,
+                                        "committed": committed})
+                raise SimulationHang(
                     f"{self.name}[{self.scheme}]: exceeded {max_cycles} "
-                    f"cycles (committed: "
-                    f"{[p.stats.committed for p in self.pipelines]})")
+                    f"cycles (committed: {committed})",
+                    cycles=self.now, committed=committed[0])
             self.step()
         return self.result()
 
@@ -239,8 +263,13 @@ class BaselineSystem:
     def run(self, max_cycles: int = 2_000_000) -> RunResult:
         while not self.pipeline.done:
             if self.now >= max_cycles:
-                raise RuntimeError(
-                    f"{self.name}[baseline]: exceeded {max_cycles} cycles")
+                if self._ev is not None:
+                    self._ev.emit(WATCHDOG_TRIP, self.now, "watchdog",
+                                  args={"budget": max_cycles})
+                raise SimulationHang(
+                    f"{self.name}[baseline]: exceeded {max_cycles} cycles",
+                    cycles=self.now,
+                    committed=self.pipeline.stats.committed)
             self.step()
         if self._ev is not None:
             self.port.flush_miss_bursts()

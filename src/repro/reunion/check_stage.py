@@ -74,6 +74,10 @@ class ReunionParams:
     reissue_penalty: int = 12
     #: cost of a synchronizing memory request (exclusive line acquisition)
     sync_request_penalty: int = 40
+    #: how many times an in-progress rollback may abort-and-restart when
+    #: a strike lands inside its squash window before the pair degrades
+    #: to a detected-unrecoverable (DUE) outcome
+    rollback_retry_budget: int = 2
 
     def __post_init__(self) -> None:
         if self.fingerprint_interval <= 0:

@@ -29,7 +29,8 @@ from repro.reunion.check_stage import CheckStage, ReunionParams
 from repro.reunion.csb import CheckStageBuffer, csb_entries_for
 from repro.telemetry import Telemetry
 from repro.telemetry.events import (
-    CSB_GATE, FAULT_DETECTED, FAULT_INJECTED, FAULT_SDC, ROLLBACK,
+    CSB_GATE, FAULT_DETECTED, FAULT_DUE, FAULT_INJECTED, FAULT_MULTIBIT,
+    FAULT_SDC, RECOVERY_ABORT, RECOVERY_REENTRY, ROLLBACK,
 )
 
 
@@ -140,6 +141,11 @@ class ReunionSystem(DualCoreSystem):
         self.fault_events: List[FaultEvent] = []
         self.rollbacks = 0
         self.rollback_cycles_total = 0
+        self.due_count = 0
+        self.rollback_reentries = 0
+        self.rollback_aborts = 0
+        self._rollback_until = 0
+        self._rollback_retries_left = self.params.rollback_retry_budget
         self.incoherence_events = 0
         self.incoherence_syncs = 0
         self.incoherence_cycles = 0
@@ -205,25 +211,26 @@ class ReunionSystem(DualCoreSystem):
 
     # -- faults -------------------------------------------------------------
     def _arm_next_strike(self, now: int) -> None:
-        interval = self.injector.next_interval()
-        if interval == float("inf"):
-            self._next_strike = None
-            return
-        self._next_strike = self.injector.strike_at(now + max(1, int(interval)))
+        self._next_strike = self.injector.next_strike(now)
 
     def _process_strikes(self, now: int) -> None:
         while self._next_strike is not None and self._next_strike.cycle <= now:
             strike = self._next_strike
-            core_id = strike.bit % 2
+            core_id = strike.core_id()
             block = self.inventory.get(strike.block)
             event = FaultEvent(cycle=now, core_id=core_id,
                                block=strike.block, bit=strike.bit)
             detector = self.detectors.get(strike.block, NoDetector())
-            result = detector.check(1)
+            result = detector.check(strike.flipped_bits)
             if self._ev is not None:
                 self._ev.emit(FAULT_INJECTED, now, f"core{core_id}",
                               args={"block": strike.block,
-                                    "bit": strike.bit})
+                                    "bit": strike.bit,
+                                    "flipped": strike.flipped_bits})
+                if strike.flipped_bits > 1:
+                    self._ev.emit(FAULT_MULTIBIT, now, f"core{core_id}",
+                                  args={"block": strike.block,
+                                        "flipped": strike.flipped_bits})
             if result.corrected:
                 # SECDED L1: fixed in place, execution unaffected
                 event.outcome = Outcome.DETECTED_RECOVERED
@@ -232,6 +239,19 @@ class ReunionSystem(DualCoreSystem):
                     self._ev.emit(FAULT_DETECTED, now, f"core{core_id}",
                                   args={"block": strike.block,
                                         "corrected": True})
+            elif result.detected:
+                # SECDED saturated into detect-only (2-bit cluster): the
+                # L1 line is known-bad and the fingerprint never covered
+                # it — detected, unrecoverable.
+                event.outcome = Outcome.DETECTED_UNRECOVERABLE
+                event.detection_latency = result.latency_cycles
+                self.due_count += 1
+                if self._ev is not None:
+                    self._ev.emit(FAULT_DUE, now, f"core{core_id}",
+                                  args={"block": strike.block,
+                                        "reason": "detect-only-ecc"})
+            elif now < self._rollback_until:
+                self._strike_during_rollback(now, core_id, block, event)
             elif block.pre_commit:
                 # the corruption flows into the next fingerprint; verdict
                 # adjudicated when the group comparison lands.
@@ -242,9 +262,56 @@ class ReunionSystem(DualCoreSystem):
                 event.outcome = Outcome.SDC
                 if self._ev is not None:
                     self._ev.emit(FAULT_SDC, now, f"core{core_id}",
-                                  args={"block": strike.block})
+                                  args={"block": strike.block,
+                                    "flipped": strike.flipped_bits})
             self.fault_events.append(event)
             self._arm_next_strike(now)
+
+    def _strike_during_rollback(self, now: int, core_id: int, block,
+                                event: FaultEvent) -> None:
+        """A strike landing inside an in-progress rollback window.
+
+        Pre-commit state is mid-squash: a corruption there would poison
+        the restart point if the flush simply continued, so the rollback
+        aborts and restarts (bounded retries), after which the squash
+        disposes of the corruption. Marking ``corrupt_next`` here — as
+        the steady-state path would — is exactly the mis-adjudication
+        this hardening removes: the corrupted value never survives into
+        a compared fingerprint. Architectural state has no fingerprint
+        coverage at any time, so those strikes stay SDC.
+        """
+        self.rollback_reentries += 1
+        if self._ev is not None:
+            self._ev.emit(RECOVERY_REENTRY, now, "check",
+                          args={"core": core_id, "block": block.name,
+                                "retries_left": self._rollback_retries_left})
+        if not block.pre_commit:
+            event.outcome = Outcome.SDC
+            if self._ev is not None:
+                self._ev.emit(FAULT_SDC, now, f"core{core_id}",
+                              args={"block": block.name,
+                                    "during_rollback": True})
+            return
+        if self._rollback_retries_left > 0:
+            self._rollback_retries_left -= 1
+            self.rollback_aborts += 1
+            penalty = self.params.rollback_penalty
+            self._rollback_until = max(self._rollback_until, now + penalty)
+            for pipeline in self.pipelines:
+                pipeline.frozen_until = max(pipeline.frozen_until,
+                                            now + penalty)
+            self.rollback_cycles_total += penalty
+            event.outcome = Outcome.DETECTED_RECOVERED
+            if self._ev is not None:
+                self._ev.emit(RECOVERY_ABORT, now, "check",
+                              args={"core": core_id, "block": block.name})
+        else:
+            event.outcome = Outcome.DETECTED_UNRECOVERABLE
+            self.due_count += 1
+            if self._ev is not None:
+                self._ev.emit(FAULT_DUE, now, f"core{core_id}",
+                              args={"block": block.name,
+                                    "reason": "retry-budget-exhausted"})
 
     def _adjudicate(self, now: int) -> None:
         """Resolve pending fault events once their group's verdict lands."""
@@ -289,6 +356,15 @@ class ReunionSystem(DualCoreSystem):
         """Squash both cores back to their committed (verified) state."""
         self.rollbacks += 1
         penalty = self.params.rollback_penalty
+        if now >= self._rollback_until:
+            # a fresh rollback episode resets the abort-retry budget
+            self._rollback_retries_left = self.params.rollback_retry_budget
+        self._rollback_until = max(self._rollback_until, now + penalty)
+        if self.injector is not None:
+            # a chase strike queued for this window must preempt the
+            # pre-drawn strike or it would be delivered after the squash
+            self.injector.on_recovery(now, penalty)
+            self._next_strike = self.injector.preempt(self._next_strike)
         if self._ev is not None:
             self._ev.emit(ROLLBACK, now, "check", dur=penalty,
                           args={"group": group})
@@ -328,6 +404,9 @@ class ReunionSystem(DualCoreSystem):
                 self.check.aliased_corruptions),
             "reunion.rollback.count": float(self.rollbacks),
             "reunion.rollback.cycles": float(self.rollback_cycles_total),
+            "reunion.rollback.reentries": float(self.rollback_reentries),
+            "reunion.rollback.aborts": float(self.rollback_aborts),
+            "reunion.due.count": float(self.due_count),
             "reunion.csb.pushes": float(self.csbs[0].pushes),
             "reunion.csb.full_stalls": float(
                 sum(c.full_stalls for c in self.csbs)),

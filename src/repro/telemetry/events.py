@@ -27,6 +27,8 @@ from typing import Dict, Iterator, List, Optional
 FAULT_INJECTED = "fault.injected"     #: a strike landed on a block
 FAULT_DETECTED = "fault.detected"     #: a detector fired (or corrected)
 FAULT_SDC = "fault.sdc"               #: a strike escaped detection
+FAULT_MULTIBIT = "fault.multibit"     #: a multi-bit cluster strike landed
+FAULT_DUE = "fault.due"               #: detected but unrecoverable
 EIH_INTERRUPT = "eih.interrupt"       #: EIH begins pair-wide recovery
 EIH_RECOVERY = "eih.recovery"         #: span: the full recovery episode
 CB_GATE = "cb.gate"                   #: span: commit stalled on a full CB
@@ -36,11 +38,15 @@ FP_MISMATCH = "fingerprint.mismatch"  #: the comparison failed
 ROLLBACK = "rollback"                 #: span: Reunion rollback episode
 CSB_GATE = "csb.gate"                 #: span: execute stalled on a full CSB
 MEM_MISS_BURST = "mem.miss_burst"     #: span: a dense run of L1/TLB misses
+RECOVERY_REENTRY = "recovery.reentry"  #: a strike landed mid-recovery
+RECOVERY_ABORT = "recovery.abort"     #: recovery aborted and restarted
+WATCHDOG_TRIP = "watchdog.trip"       #: the cycle-budget watchdog fired
 
 EVENT_NAMES = (
-    FAULT_INJECTED, FAULT_DETECTED, FAULT_SDC, EIH_INTERRUPT, EIH_RECOVERY,
-    CB_GATE, CB_DRAIN, FP_COMPARE, FP_MISMATCH, ROLLBACK, CSB_GATE,
-    MEM_MISS_BURST,
+    FAULT_INJECTED, FAULT_DETECTED, FAULT_SDC, FAULT_MULTIBIT, FAULT_DUE,
+    EIH_INTERRUPT, EIH_RECOVERY, CB_GATE, CB_DRAIN, FP_COMPARE, FP_MISMATCH,
+    ROLLBACK, CSB_GATE, MEM_MISS_BURST, RECOVERY_REENTRY, RECOVERY_ABORT,
+    WATCHDOG_TRIP,
 )
 
 

@@ -5,12 +5,18 @@ EIH; the EIH broadcasts RECOVERY to both cores and the CB. The paper's
 Figure 2 discussion is explicit that this signalling takes "a non-zero
 number of cycles" — that window is where the write-back-cache
 unrecoverability argument lives, so the latency is a first-class knob.
+
+Ordering contract: when several interrupts are deliverable at the same
+poll, they pop in ``(raise_cycle, core_id, block)`` order *regardless of
+the order they were raised in* — simultaneous detections on both cores
+must produce the same recovery sequence (and therefore byte-identical
+campaign JSONL) on every run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -28,6 +34,12 @@ class _PendingInterrupt:
     raise_cycle: int
     core_id: int
     block: str
+    #: opaque caller payload (UnSync attaches the FaultEvent so a dropped
+    #: or unrecoverable interrupt can be re-adjudicated)
+    token: Any = None
+
+    def order_key(self) -> Tuple[int, int, str]:
+        return (self.raise_cycle, self.core_id, self.block)
 
 
 class ErrorInterruptHandler:
@@ -38,10 +50,15 @@ class ErrorInterruptHandler:
         self._pending: List[_PendingInterrupt] = []
         self.interrupts_received = 0
         self.recoveries_signalled = 0
+        self.interrupts_dropped = 0
+        #: the interrupt most recently returned by :meth:`poll` (the
+        #: system reads its ``token`` — poll's tuple shape is frozen API)
+        self.last_popped: Optional[_PendingInterrupt] = None
 
-    def raise_interrupt(self, now: int, core_id: int, block: str) -> None:
+    def raise_interrupt(self, now: int, core_id: int, block: str,
+                        token: Any = None) -> None:
         """A detector on ``core_id`` fired at cycle ``now``."""
-        self._pending.append(_PendingInterrupt(now, core_id, block))
+        self._pending.append(_PendingInterrupt(now, core_id, block, token))
         self.interrupts_received += 1
 
     def poll(self, now: int) -> Optional[Tuple[int, str, int]]:
@@ -50,15 +67,37 @@ class ErrorInterruptHandler:
         Returns ``(erroneous_core_id, block, stall_complete_cycle)`` once
         ``signal_latency`` has elapsed since the interrupt;
         ``stall_complete_cycle`` is when both pipelines are quiesced and
-        state copying may begin.
+        state copying may begin. Deliverable interrupts pop in
+        ``(raise_cycle, core_id, block)`` order, independent of raise
+        order.
         """
-        for i, intr in enumerate(self._pending):
-            if now >= intr.raise_cycle + self.config.signal_latency:
-                self._pending.pop(i)
-                self.recoveries_signalled += 1
-                return (intr.core_id, intr.block,
-                        now + self.config.stall_latency)
-        return None
+        ready = [intr for intr in self._pending
+                 if now >= intr.raise_cycle + self.config.signal_latency]
+        if not ready:
+            return None
+        intr = min(ready, key=_PendingInterrupt.order_key)
+        self._pending.remove(intr)
+        self.recoveries_signalled += 1
+        self.last_popped = intr
+        return (intr.core_id, intr.block, now + self.config.stall_latency)
+
+    def drop_latest_pending(self) -> Optional[_PendingInterrupt]:
+        """A strike on the pending queue destroys its youngest record.
+
+        Returns the dropped interrupt (deterministically the max
+        ``(raise_cycle, core_id, block)``) so the caller can re-adjudicate
+        the fault it carried, or ``None`` when the queue is empty.
+        """
+        if not self._pending:
+            return None
+        intr = max(self._pending, key=_PendingInterrupt.order_key)
+        self._pending.remove(intr)
+        self.interrupts_dropped += 1
+        return intr
+
+    def pending_for(self, core_id: int) -> bool:
+        """Whether an undelivered interrupt from ``core_id`` is queued."""
+        return any(intr.core_id == core_id for intr in self._pending)
 
     @property
     def has_pending(self) -> bool:

@@ -25,7 +25,8 @@ from repro.redundancy.pair import DualCoreSystem
 from repro.telemetry import Telemetry
 from repro.telemetry.events import (
     CB_DRAIN, CB_GATE, EIH_INTERRUPT, EIH_RECOVERY, FAULT_DETECTED,
-    FAULT_INJECTED, FAULT_SDC,
+    FAULT_DUE, FAULT_INJECTED, FAULT_MULTIBIT, FAULT_SDC, RECOVERY_ABORT,
+    RECOVERY_REENTRY,
 )
 from repro.unsync.comm_buffer import CBEntry, CommBuffer
 from repro.unsync.eih import EIHConfig, ErrorInterruptHandler
@@ -48,6 +49,20 @@ class UnSyncConfig:
     drain_payload_bytes: int = 8
     eih: EIHConfig = field(default_factory=EIHConfig)
     recovery: RecoveryCostModel = field(default_factory=RecoveryCostModel)
+    #: how many times an in-progress recovery may abort-and-restart when
+    #: a new strike lands inside its window before the pair degrades to a
+    #: detected-unrecoverable (DUE) outcome
+    recovery_retry_budget: int = 2
+    #: paired-strike vulnerability window: a detected strike on the clean
+    #: core within this many cycles of a recovery makes the copy source
+    #: suspect -> DUE. ``None`` derives signal + stall latency (the EIH's
+    #: own detection-to-quiesce window).
+    pair_due_window: Optional[int] = None
+
+    def due_window(self) -> int:
+        if self.pair_due_window is not None:
+            return self.pair_due_window
+        return self.eih.signal_latency + self.eih.stall_latency
 
 
 class _UnSyncGate(CommitGate):
@@ -108,7 +123,14 @@ class UnSyncSystem(DualCoreSystem):
         self.detectors = detectors if detectors is not None else dict(UNSYNC_DETECTORS)
         self.fault_events: List[FaultEvent] = []
         self.recovery_cycles_total = 0
+        self.due_count = 0
+        self.recovery_reentries = 0
+        self.recovery_aborts = 0
         self._recovering_until = 0
+        self._recovery_retries_left = self.unsync.recovery_retry_budget
+        #: cycle of the last *detected* strike per core (paired-strike
+        #: DUE window checks; -inf sentinel keeps arithmetic branchless)
+        self._last_detected_strike = [-(10 ** 9), -(10 ** 9)]
         self._next_strike: Optional[Strike] = None
         # UnSync *requires* write-through L1s (Sec III-C-1)
         cfg = config or SystemConfig.table1()
@@ -136,7 +158,13 @@ class UnSyncSystem(DualCoreSystem):
         if self.eih._pending:
             pending = self.eih.poll(now)
             if pending is not None:
-                self._recover(now, *pending)
+                event = self.eih.last_popped.token
+                if now < self._recovering_until:
+                    self._reenter_recovery(now, *pending, event=event)
+                else:
+                    self._recovery_retries_left = \
+                        self.unsync.recovery_retry_budget
+                    self._recover(now, *pending, event=event)
         if now >= self._recovering_until:
             self._drain(now)
 
@@ -166,55 +194,151 @@ class UnSyncSystem(DualCoreSystem):
 
     # -- faults ---------------------------------------------------------------
     def _arm_next_strike(self, now: int) -> None:
-        interval = self.injector.next_interval()
-        if interval == float("inf"):
-            self._next_strike = None
-            return
-        cycle = now + max(1, int(interval))
-        strike = self.injector.strike_at(cycle)
-        self._next_strike = strike
+        self._next_strike = self.injector.next_strike(now)
 
     def _process_strikes(self, now: int) -> None:
         while self._next_strike is not None and self._next_strike.cycle <= now:
             strike = self._next_strike
-            core_id = strike.bit % 2  # strikes land on either core uniformly
-            detector = self.detectors.get(strike.block, NoDetector())
-            result = detector.check(1)
+            core_id = strike.core_id()
             event = FaultEvent(cycle=now, core_id=core_id,
                                block=strike.block, bit=strike.bit)
             if self._ev is not None:
                 self._ev.emit(FAULT_INJECTED, now, f"core{core_id}",
                               args={"block": strike.block,
-                                    "bit": strike.bit})
-            if result.detected or result.corrected:
-                if result.corrected:
-                    # e.g. SECDED on a block: fixed in place, no recovery
-                    event.outcome = Outcome.DETECTED_RECOVERED
-                    event.detection_latency = result.latency_cycles
-                else:
-                    event.detection_latency = result.latency_cycles
-                    self.eih.raise_interrupt(now + result.latency_cycles,
-                                             core_id, strike.block)
-                    event.outcome = Outcome.DETECTED_RECOVERED
-                if self._ev is not None:
-                    self._ev.emit(FAULT_DETECTED, now, f"core{core_id}",
+                                    "bit": strike.bit,
+                                    "flipped": strike.flipped_bits})
+                if strike.flipped_bits > 1:
+                    self._ev.emit(FAULT_MULTIBIT, now, f"core{core_id}",
                                   args={"block": strike.block,
-                                        "latency": result.latency_cycles,
-                                        "corrected": result.corrected})
-                self._met.histogram("unsync.detection.latency").observe(
-                    result.latency_cycles)
+                                        "flipped": strike.flipped_bits})
+            if strike.block == "eih_pending":
+                self._strike_eih_queue(now, event)
+            elif strike.block == "recovery_copy":
+                self._strike_recovery_copy(now, core_id, event)
             else:
-                event.outcome = Outcome.SDC
-                if self._ev is not None:
-                    self._ev.emit(FAULT_SDC, now, f"core{core_id}",
-                                  args={"block": strike.block})
+                self._strike_block(now, core_id, strike, event)
             self.fault_events.append(event)
             self._arm_next_strike(now)
 
+    def _strike_block(self, now: int, core_id: int, strike: Strike,
+                      event: FaultEvent) -> None:
+        """The standard detector-adjudicated path (any inventory block)."""
+        detector = self.detectors.get(strike.block, NoDetector())
+        result = detector.check(strike.flipped_bits)
+        if result.detected or result.corrected:
+            event.detection_latency = result.latency_cycles
+            event.outcome = Outcome.DETECTED_RECOVERED
+            if not result.corrected:
+                # corrected (e.g. SECDED) is fixed in place, no recovery;
+                # detected-only raises the pair-wide recovery interrupt
+                self._last_detected_strike[core_id] = now
+                self.eih.raise_interrupt(now + result.latency_cycles,
+                                         core_id, strike.block, token=event)
+            if self._ev is not None:
+                self._ev.emit(FAULT_DETECTED, now, f"core{core_id}",
+                              args={"block": strike.block,
+                                    "latency": result.latency_cycles,
+                                    "corrected": result.corrected})
+            self._met.histogram("unsync.detection.latency").observe(
+                result.latency_cycles)
+        else:
+            # even-weight clusters defeat 1-bit parity: a true SDC
+            event.outcome = Outcome.SDC
+            if self._ev is not None:
+                self._ev.emit(FAULT_SDC, now, f"core{core_id}",
+                              args={"block": strike.block,
+                                    "flipped": strike.flipped_bits})
+
+    def _strike_eih_queue(self, now: int, event: FaultEvent) -> None:
+        """A strike on the EIH pending queue destroys a queued interrupt.
+
+        The destroyed interrupt's fault *was* detected, but its recovery
+        signal is gone — that error is now detected-unrecoverable. The
+        queue strike itself corrupts only bookkeeping state: masked.
+        """
+        event.outcome = Outcome.MASKED
+        dropped = self.eih.drop_latest_pending()
+        if dropped is None:
+            return
+        lost: Optional[FaultEvent] = dropped.token
+        if lost is not None:
+            lost.outcome = Outcome.DETECTED_UNRECOVERABLE
+        self.due_count += 1
+        if self._ev is not None:
+            self._ev.emit(FAULT_DUE, now, "eih",
+                          args={"block": dropped.block,
+                                "core": dropped.core_id,
+                                "reason": "interrupt-lost"})
+
+    def _strike_recovery_copy(self, now: int, core_id: int,
+                              event: FaultEvent) -> None:
+        """A strike on the in-flight recovery copy.
+
+        Outside a recovery window there is no copy in flight (masked);
+        inside one, the copy engine's DMR catches the corruption and the
+        recovery must abort and restart.
+        """
+        if now >= self._recovering_until:
+            event.outcome = Outcome.MASKED
+            return
+        event.outcome = Outcome.DETECTED_RECOVERED
+        self._last_detected_strike[core_id] = now
+        self.eih.raise_interrupt(now, core_id, "recovery_copy", token=event)
+        if self._ev is not None:
+            self._ev.emit(FAULT_DETECTED, now, f"core{core_id}",
+                          args={"block": "recovery_copy", "latency": 0,
+                                "corrected": False})
+
+    def _reenter_recovery(self, now: int, bad_core: int, block: str,
+                          stall_complete: int,
+                          event: Optional[FaultEvent]) -> None:
+        """A new detection landed while a recovery was already running.
+
+        With retry budget left the in-progress copy is abandoned and the
+        whole recovery restarts (its cycles are sunk cost); once the
+        budget is exhausted the pair gives up: detected, unrecoverable.
+        """
+        self.recovery_reentries += 1
+        if self._ev is not None:
+            self._ev.emit(RECOVERY_REENTRY, now, "eih",
+                          args={"core": bad_core, "block": block,
+                                "retries_left": self._recovery_retries_left})
+        if self._recovery_retries_left > 0:
+            self._recovery_retries_left -= 1
+            self.recovery_aborts += 1
+            if self._ev is not None:
+                self._ev.emit(RECOVERY_ABORT, now, "eih",
+                              args={"core": bad_core, "block": block})
+            self._recover(now, bad_core, block, stall_complete, event=event)
+        else:
+            self._declare_due(now, bad_core, block, event,
+                              reason="retry-budget-exhausted")
+
+    def _declare_due(self, now: int, bad_core: int, block: str,
+                     event: Optional[FaultEvent], reason: str) -> None:
+        """Graceful degradation: a detected error the pair cannot repair."""
+        if event is not None:
+            event.outcome = Outcome.DETECTED_UNRECOVERABLE
+        self.due_count += 1
+        if self._ev is not None:
+            self._ev.emit(FAULT_DUE, now, "eih",
+                          args={"core": bad_core, "block": block,
+                                "reason": reason})
+
     def _recover(self, now: int, bad_core: int, block: str,
-                 stall_complete: int) -> None:
+                 stall_complete: int,
+                 event: Optional[FaultEvent] = None) -> None:
         """Execute the six-step always-forward recovery."""
         good_core = 1 - bad_core
+        # the paper's unrecoverable case: the copy *source* was itself
+        # struck inside the detection window (or its own interrupt is
+        # still in flight) — there is no clean core to go forward from
+        window = self.unsync.due_window()
+        if (self.eih.pending_for(good_core)
+                or now - self._last_detected_strike[good_core] <= window):
+            self._declare_due(now, bad_core, block, event,
+                              reason="paired-strike")
+            return
         good = self.pipelines[good_core]
         bad = self.pipelines[bad_core]
         plan = self.unsync.recovery.plan(
@@ -226,8 +350,13 @@ class UnSyncSystem(DualCoreSystem):
         freeze_until = now + plan.total_cycles
         for p in self.pipelines:
             p.frozen_until = max(p.frozen_until, freeze_until)
-        self._recovering_until = freeze_until
+        self._recovering_until = max(self._recovering_until, freeze_until)
         self.recovery_cycles_total += plan.total_cycles
+        if self.injector is not None:
+            # adversarial injectors may chase the recovery window; any
+            # strike queued just now must preempt the pre-drawn one
+            self.injector.on_recovery(now, plan.total_cycles)
+            self._next_strike = self.injector.preempt(self._next_strike)
         if self._ev is not None:
             # emitted at `now` (poll time), keeping the eih track monotonic
             # even though the interrupt was *raised* detection-latency ago
@@ -284,7 +413,12 @@ class UnSyncSystem(DualCoreSystem):
                 max(cb.max_occupancy for cb in self.cbs)),
             "unsync.eih.interrupts": float(self.eih.interrupts_received),
             "unsync.eih.recoveries": float(self.eih.recoveries_signalled),
+            "unsync.eih.dropped_interrupts": float(
+                self.eih.interrupts_dropped),
             "unsync.recovery.cycles": float(self.recovery_cycles_total),
+            "unsync.recovery.reentries": float(self.recovery_reentries),
+            "unsync.recovery.aborts": float(self.recovery_aborts),
+            "unsync.due.count": float(self.due_count),
         }
 
     def result(self):

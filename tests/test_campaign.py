@@ -199,14 +199,20 @@ def test_executor_retries_once_then_succeeds():
     assert report.retries == 1 and report.worker_failures == 1
 
 
-def test_executor_surfaces_double_failure_with_trial():
+def test_executor_records_double_failure_as_crash():
     def broken(trial):
         raise ValueError("always")
 
-    with pytest.raises(TrialFailure) as exc:
-        execute_trials(small_spec().expand(), workers=1, runner=broken)
-    assert exc.value.trial.seed == 0
-    assert isinstance(exc.value.cause, ValueError)
+    report = ExecutionReport()
+    results = execute_trials(small_spec().expand(), workers=1, runner=broken,
+                             report=report)
+    # one pathological trial costs a CRASH data point, not the campaign
+    assert [r.seed for r in results] == [0, 1, 2, 3]
+    assert all(r.outcome == "crash" for r in results)
+    assert all("ValueError" in r.error for r in results)
+    assert report.crashes == len(results)
+    # TrialFailure stays importable for external callers
+    assert issubclass(TrialFailure, RuntimeError)
 
 
 def test_executor_on_result_order_matches_submission():
