@@ -1,0 +1,108 @@
+"""Committed baseline: legacy findings that do not block CI.
+
+A baseline entry fingerprints a finding as ``(path, code, stripped
+source line text)`` with a count — deliberately *line-number free*, so
+unrelated edits above a legacy finding do not invalidate the baseline.
+If a file accumulates more identical findings than the baseline budget
+for that fingerprint, the surplus is reported as new.
+
+The file is plain JSON, sorted, trailing-newline — regenerating it on
+an unchanged tree is byte-stable (`repro lint --write-baseline`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """Unreadable or malformed baseline file."""
+
+
+def _fingerprint(finding: Finding) -> Fingerprint:
+    return (finding.path, finding.code, finding.line_text.strip())
+
+
+class Baseline:
+    """Budgeted set of accepted legacy findings."""
+
+    __slots__ = ("_budget",)
+
+    def __init__(self, budget: Dict[Fingerprint, int]) -> None:
+        self._budget = dict(budget)
+
+    def __len__(self) -> int:
+        return sum(self._budget.values())
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(dict(Counter(_fingerprint(f) for f in findings)))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls.empty()
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("version") != _VERSION:
+            raise BaselineError(
+                f"baseline {path} is not a version-{_VERSION} simlint "
+                f"baseline — regenerate with `repro lint --write-baseline`")
+        budget: Dict[Fingerprint, int] = {}
+        for entry in doc.get("entries", []):
+            try:
+                key = (str(entry["path"]), str(entry["code"]),
+                       str(entry["text"]))
+                count = int(entry.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"malformed baseline entry in {path}: {entry!r}"
+                ) from exc
+            budget[key] = budget.get(key, 0) + count
+        return cls(budget)
+
+    def write(self, path: Path) -> None:
+        entries = [
+            {"path": p, "code": c, "text": t, "count": n}
+            for (p, c, t), n in sorted(self._budget.items()) if n > 0
+        ]
+        doc = {"version": _VERSION, "entries": entries}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def filter(self, findings: Sequence[Finding]
+               ) -> Tuple[List[Finding], int]:
+        """Split ``findings`` into (new, number baselined).
+
+        Budget is consumed in canonical sorted order so the result is
+        independent of input order.
+        """
+        remaining = dict(self._budget)
+        new: List[Finding] = []
+        baselined = 0
+        for finding in sorted(findings):
+            key = _fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        return new, baselined

@@ -1,0 +1,148 @@
+"""Rule framework: file context, name resolution, and the per-file run.
+
+Rules are small visitor-ish objects: ``check(ctx)`` yields
+:class:`~repro.analysis.findings.Finding` for one parsed file. The
+framework owns everything rules should not re-implement — import-aware
+dotted-name resolution, pragma suppression, per-path rule scoping, and
+the "unparseable file is a finding, not a crash" contract (SIM001).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Dict, Iterable, Iterator, List, Optional
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import Suppressions
+
+#: pseudo-rule for files the checker itself cannot process
+PARSE_ERROR_CODE = "SIM001"
+
+
+class LintInternalError(RuntimeError):
+    """A rule crashed — a simlint bug, not a finding (CLI exit 2)."""
+
+
+def _build_import_map(tree: ast.AST) -> Dict[str, str]:
+    """Map local names to the dotted origin they were imported as.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from time import perf_counter as pc`` -> ``{"pc":
+    "time.perf_counter"}``. Imports anywhere in the file count (the sim
+    defers several imports into methods).
+    """
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else local
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:  # relative: leave alone
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    __slots__ = ("path", "source", "lines", "tree", "imports",
+                 "suppressions")
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines: List[str] = source.splitlines()
+        self.tree = tree
+        self.imports: Dict[str, str] = _build_import_map(tree)
+        self.suppressions = Suppressions(source)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of a ``Name``/``Attribute`` chain, import-aware.
+
+        ``np.random.rand`` resolves to ``"numpy.random.rand"``;
+        ``self._rng.random`` resolves to ``"self._rng.random"``;
+        anything that is not a pure attribute chain resolves to None.
+        """
+        if isinstance(node, ast.Name):
+            return self.imports.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+
+class Rule:
+    """Base class for one lint rule (one SIMxxx code)."""
+
+    code: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+    #: one motivating example for the README catalogue
+    example: ClassVar[str] = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST,
+                message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(path=ctx.path, line=lineno, col=col,
+                       code=self.code, message=message,
+                       line_text=ctx.line_text(lineno))
+
+
+def parse_error_finding(path: str, source: str,
+                        exc: SyntaxError) -> Finding:
+    lineno = exc.lineno or 1
+    col = max(0, (exc.offset or 1) - 1)
+    lines = source.splitlines()
+    text = lines[lineno - 1].strip() if 1 <= lineno <= len(lines) else ""
+    return Finding(path=path, line=lineno, col=col, code=PARSE_ERROR_CODE,
+                   message=f"file does not parse: {exc.msg}",
+                   line_text=text)
+
+
+def check_source(source: str, path: str, rules: Iterable[Rule],
+                 config: Optional[LintConfig] = None) -> List[Finding]:
+    """Run ``rules`` over one file's source; sorted, pragma-filtered.
+
+    ``path`` is the POSIX-style path relative to the lint root — rule
+    scoping (``config.rule_applies``) keys off it. A file that does not
+    parse yields exactly one :data:`PARSE_ERROR_CODE` finding.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [parse_error_finding(path, source, exc)]
+    except ValueError as exc:  # e.g. source with null bytes
+        return [Finding(path=path, line=1, col=0, code=PARSE_ERROR_CODE,
+                        message=f"file does not parse: {exc}")]
+    ctx = FileContext(path, source, tree)
+    findings: List[Finding] = []
+    for rule in rules:
+        if config is not None and not config.rule_applies(rule.code, path):
+            continue
+        try:
+            for finding in rule.check(ctx):
+                if not ctx.suppressions.is_suppressed(finding.line,
+                                                      finding.code):
+                    findings.append(finding)
+        except Exception as exc:
+            raise LintInternalError(
+                f"rule {rule.code} crashed on {path}: {exc!r}") from exc
+    return sorted(findings)

@@ -1,0 +1,54 @@
+"""``# simlint: off[=CODE,...]`` pragma suppression.
+
+A pragma suppresses findings anchored to its own physical line, or to
+the line directly below it — so a standalone pragma comment (or a
+trailing comment on the last decorator) can sit directly above the
+``class``/``def`` statement a finding anchors to. ``off`` with no codes
+suppresses every rule on that line; ``off=SIM104`` (comma-separated for
+several) suppresses only those. Trailing prose after the codes is
+encouraged::
+
+    @dataclass(frozen=True)  # simlint: off=SIM201 — needs __dict__
+    class Instruction:
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Optional
+
+_PRAGMA = re.compile(r"#\s*simlint:\s*off(?:\s*=\s*(?P<codes>[A-Z0-9_,\s]+))?")
+
+
+class Suppressions:
+    """Parsed pragma map for one source file."""
+
+    __slots__ = ("_by_line",)
+
+    def __init__(self, source: str) -> None:
+        # line number (1-based) -> frozenset of codes, or None for "all"
+        self._by_line: Dict[int, Optional[FrozenSet[str]]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            raw = match.group("codes")
+            if raw is None:
+                self._by_line[lineno] = None
+            else:
+                codes = frozenset(
+                    c.strip() for c in raw.split(",") if c.strip())
+                self._by_line[lineno] = codes or None
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+    def _matches(self, lineno: int, code: str) -> bool:
+        if lineno not in self._by_line:
+            return False
+        codes = self._by_line[lineno]
+        return codes is None or code in codes
+
+    def is_suppressed(self, lineno: int, code: str) -> bool:
+        """True if ``code`` is pragma'd on ``lineno`` or the line above."""
+        return self._matches(lineno, code) or self._matches(lineno - 1, code)

@@ -1,0 +1,53 @@
+"""The simlint rule battery.
+
+Families:
+
+* **SIM1xx determinism** — wall-clock reads, unseeded RNGs, unordered
+  set iteration, ``id()`` keys, dict-mutation-during-view-iteration.
+* **SIM2xx hot path** — ``__slots__`` on per-cycle records, no eager
+  string formatting / logging inside ``step``/``tick`` loops.
+* **SIM3xx multiprocessing hygiene** — executor callables must be
+  module-level; no module-global writes from worker-reachable code.
+* **SIM4xx exception discipline** — no bare ``except:``, no swallowed
+  broad handlers (the outcome taxonomy depends on classification).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.framework import Rule
+from repro.analysis.rules.determinism import (
+    DictMutatedDuringIteration,
+    IdAsKey,
+    UnorderedSetIteration,
+    UnseededRandom,
+    WallClock,
+)
+from repro.analysis.rules.exceptions import BareExcept, SwallowedException
+from repro.analysis.rules.hotpath import FormatInStepLoop, SlotsOnHotRecords
+from repro.analysis.rules.procpool import (
+    ModuleGlobalWrite,
+    NonModuleLevelWorker,
+)
+
+#: every rule, instantiated once, in code order
+ALL_RULES: Tuple[Rule, ...] = (
+    WallClock(),
+    UnseededRandom(),
+    UnorderedSetIteration(),
+    IdAsKey(),
+    DictMutatedDuringIteration(),
+    SlotsOnHotRecords(),
+    FormatInStepLoop(),
+    NonModuleLevelWorker(),
+    ModuleGlobalWrite(),
+    BareExcept(),
+    SwallowedException(),
+)
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """Stable (code, summary, example) listing for docs and ``--help``."""
+    return [{"code": r.code, "summary": r.summary, "example": r.example}
+            for r in ALL_RULES]

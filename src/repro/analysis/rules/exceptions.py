@@ -1,0 +1,77 @@
+"""SIM4xx — exception discipline.
+
+The five-outcome trial taxonomy (crash > hang > sdc > due > recovered)
+only works if failures reach the classifier: a handler that swallows
+exceptions converts a would-be CRASH record into silent garbage — an
+SDC in the harness itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileContext, Rule
+
+_BROAD = ("Exception", "BaseException")
+
+
+class BareExcept(Rule):
+    """SIM401: no bare ``except:`` anywhere in the tree."""
+
+    code: ClassVar[str] = "SIM401"
+    summary: ClassVar[str] = (
+        "bare except: catches SystemExit/KeyboardInterrupt and defeats "
+        "outcome classification")
+    example: ClassVar[str] = "try: run()\nexcept: pass"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare except catches SystemExit/KeyboardInterrupt "
+                    "too; name the exception types")
+
+
+def _only_swallows(body: List[ast.stmt]) -> bool:
+    """True when a handler body does nothing with the exception."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)):
+            continue  # docstring / ellipsis
+        return False
+    return True
+
+
+class SwallowedException(Rule):
+    """SIM402: broad handlers must classify or re-raise, never ``pass``.
+
+    PR 4's executor records a doubly-failed trial as a CRASH outcome
+    with the traceback attached; a silent ``except Exception: pass`` in
+    a recovery or executor path would erase exactly that signal.
+    """
+
+    code: ClassVar[str] = "SIM402"
+    summary: ClassVar[str] = (
+        "except Exception: pass — failures must be classified "
+        "(outcome taxonomy) or re-raised, not swallowed")
+    example: ClassVar[str] = "except Exception:\n    pass"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:  # SIM401's finding, not ours
+                continue
+            types = (node.type.elts if isinstance(node.type, ast.Tuple)
+                     else [node.type])
+            broad = any(ctx.resolve(t) in _BROAD for t in types)
+            if broad and _only_swallows(node.body):
+                yield self.finding(
+                    ctx, node,
+                    "broad except handler swallows the failure; record "
+                    "it (crash_result / telemetry event) or re-raise")

@@ -1,0 +1,104 @@
+"""SIM3xx — multiprocessing hygiene.
+
+The campaign fans trials out over a process pool and must produce
+byte-identical results when degraded to serial. That only holds when
+worker callables pickle cleanly (module-level, closure-free) and no
+worker mutates module state the parent also reads.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileContext, Rule
+
+#: executor methods whose first argument is the worker callable
+_SUBMIT_METHODS = frozenset({"submit", "map", "imap", "imap_unordered",
+                             "apply", "apply_async", "starmap",
+                             "starmap_async"})
+
+
+def _looks_like_pool(receiver: str) -> bool:
+    receiver = receiver.lower()
+    return "pool" in receiver or "executor" in receiver
+
+
+class NonModuleLevelWorker(Rule):
+    """SIM301: callables handed to a process pool must be module-level."""
+
+    code: ClassVar[str] = "SIM301"
+    summary: ClassVar[str] = (
+        "lambda/nested/bound callable submitted to a process pool — "
+        "must be module-level to pickle (and to stay closure-free)")
+    example: ClassVar[str] = "pool.submit(lambda: run(trial))"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # names of functions defined *inside* another function, anywhere
+        nested: set[str] = set()
+        for fn in ast.walk(ctx.tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.update(
+                    sub.name for sub in ast.walk(fn)
+                    if isinstance(sub, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))
+                    and sub is not fn)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _SUBMIT_METHODS
+                    and node.args):
+                continue
+            receiver = ctx.resolve(node.func.value) or ""
+            if not _looks_like_pool(receiver):
+                continue
+            reason = self._bad_worker(node.args[0], nested)
+            if reason is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"{reason} passed to {node.func.attr}(); process-"
+                    f"pool workers must be module-level functions "
+                    f"(picklable, closure-free)")
+
+    @staticmethod
+    def _bad_worker(worker: ast.expr,
+                    nested: "set[str]") -> Optional[str]:
+        if isinstance(worker, ast.Lambda):
+            return "lambda"
+        if isinstance(worker, ast.Name) and worker.id in nested:
+            return f"nested function {worker.id!r}"
+        if (isinstance(worker, ast.Attribute)
+                and isinstance(worker.value, ast.Name)
+                and worker.value.id in ("self", "cls")):
+            return f"bound method {worker.value.id}.{worker.attr}"
+        return None
+
+
+class ModuleGlobalWrite(Rule):
+    """SIM302: no ``global`` writes — workers mutate a *copy*.
+
+    A ``global`` rebound inside a function diverges between the serial
+    path (parent process sees the write) and the pool path (only the
+    worker's copy changes), which is exactly the serial-vs-parallel
+    divergence the campaign store's byte-identity gate exists to catch.
+    Worker-side memo caches should be explicit module-level containers
+    mutated in place and derived purely from the trial spec.
+    """
+
+    code: ClassVar[str] = "SIM302"
+    summary: ClassVar[str] = (
+        "global statement in sim code — parent and pool workers would "
+        "see different values")
+    example: ClassVar[str] = "def run(): global _cache; _cache = {}"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Global):
+                names = ", ".join(node.names)
+                yield self.finding(
+                    ctx, node,
+                    f"global rebinding of {names} diverges between "
+                    f"serial and process-pool execution; pass state "
+                    f"explicitly or mutate a module-level container in "
+                    f"place")

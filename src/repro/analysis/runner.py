@@ -1,0 +1,188 @@
+"""Tree walking, baseline filtering, and report rendering for simlint.
+
+Exit-code contract (the CI gate keys off it):
+
+* ``0`` — clean: no non-baselined findings;
+* ``1`` — findings: at least one new finding (including SIM001 parse
+  failures — an unparseable file is a *finding*, never a crash);
+* ``2`` — internal error: simlint itself failed (bad config, rule bug,
+  unreadable baseline). CI treats this as infrastructure failure, not
+  as "the tree is dirty".
+
+Both renderers are deterministic: findings sort canonically, JSON is
+``sort_keys=True`` with no timestamps, so identical trees produce
+byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.config import LintConfig, LintConfigError, load_config
+from repro.analysis.findings import Finding
+from repro.analysis.framework import LintInternalError, Rule, check_source
+from repro.analysis.rules import ALL_RULES
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL_ERROR = 2
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a tree."""
+
+    findings: List[Finding]          # new (non-baselined), sorted
+    baselined: int = 0               # findings matched by the baseline
+    files: int = 0                   # files scanned
+    #: every finding before baseline filtering (for --write-baseline)
+    all_findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        return counts
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+
+def iter_lint_files(config: LintConfig,
+                    paths: Sequence[str] = ()) -> List[Path]:
+    """Deterministically ordered ``.py`` files under the configured roots.
+
+    Explicit ``paths`` (from the CLI) override the configured ones but
+    still honour ``exclude``.
+    """
+    roots = [config.root / p for p in (paths or config.paths)]
+    files: List[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(root.rglob("*.py"))
+        else:
+            raise LintInternalError(f"lint path does not exist: {root}")
+    out = []
+    seen = set()
+    for f in files:
+        rel = _rel_posix(f, config.root)
+        if rel in seen:
+            continue
+        seen.add(rel)
+        if any(part in rel for part in config.exclude):
+            continue
+        out.append(f)
+    return sorted(out, key=lambda f: _rel_posix(f, config.root))
+
+
+def _rel_posix(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_tree(config: LintConfig,
+              paths: Sequence[str] = (),
+              rules: Iterable[Rule] = ALL_RULES,
+              baseline: Optional[Baseline] = None) -> LintReport:
+    """Lint the configured tree and apply the baseline filter."""
+    rules = tuple(rules)
+    if baseline is None:
+        if config.baseline is not None:
+            baseline = Baseline.load(config.root / config.baseline)
+        else:
+            baseline = Baseline.empty()
+    all_findings: List[Finding] = []
+    files = iter_lint_files(config, paths)
+    for path in files:
+        rel = _rel_posix(path, config.root)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            all_findings.append(Finding(
+                path=rel, line=1, col=0, code="SIM001",
+                message=f"file is unreadable: {exc}"))
+            continue
+        all_findings.extend(check_source(source, rel, rules, config))
+    new, baselined = baseline.filter(all_findings)
+    return LintReport(findings=new, baselined=baselined,
+                      files=len(files), all_findings=sorted(all_findings))
+
+
+def render_text(report: LintReport) -> str:
+    lines = [f.render() for f in report.findings]
+    counts = ", ".join(f"{code} x{n}"
+                       for code, n in sorted(report.counts.items()))
+    if report.findings:
+        lines.append(f"{len(report.findings)} finding(s) [{counts}] in "
+                     f"{report.files} file(s), "
+                     f"{report.baselined} baselined")
+    else:
+        lines.append(f"clean: {report.files} file(s), "
+                     f"{report.baselined} baselined finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    doc = {
+        "version": 1,
+        "files": report.files,
+        "baselined": report.baselined,
+        "counts": report.counts,
+        "findings": [f.to_dict() for f in report.findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def run_lint_cli(paths: Sequence[str],
+                 fmt: str,
+                 root: Optional[str] = None,
+                 baseline_path: Optional[str] = None,
+                 no_baseline: bool = False,
+                 write_baseline: bool = False,
+                 stdout=None) -> int:
+    """Back end of ``repro lint`` — returns the process exit code."""
+    import sys
+    out = stdout if stdout is not None else sys.stdout
+    try:
+        config = load_config(Path(root) if root else Path.cwd())
+        if baseline_path is not None or no_baseline:
+            config = LintConfig(
+                root=config.root, paths=config.paths,
+                exclude=config.exclude,
+                baseline=None if no_baseline else baseline_path,
+                per_path_ignore=config.per_path_ignore,
+                rule_paths=config.rule_paths)
+        report = lint_tree(config, paths)
+        if write_baseline:
+            target = config.baseline or "simlint-baseline.json"
+            Baseline.from_findings(report.all_findings).write(
+                config.root / target)
+            print(f"wrote {target}: {len(report.all_findings)} "
+                  f"finding(s) accepted as baseline", file=out)
+            return EXIT_CLEAN
+        text = (render_json(report) if fmt == "json"
+                else render_text(report) + "\n")
+        out.write(text)
+        return report.exit_code
+    except (LintConfigError, BaselineError, LintInternalError) as exc:
+        print(f"simlint internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL_ERROR
+
+
+def self_check() -> Tuple[LintReport, LintConfig]:
+    """Lint ``src/repro/analysis`` itself with an empty baseline."""
+    here = Path(__file__).resolve().parent
+    config = LintConfig(root=here.parent.parent.parent, rule_paths={})
+    report = lint_tree(config, paths=("src/repro/analysis",),
+                       baseline=Baseline.empty())
+    return report, config

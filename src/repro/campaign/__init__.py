@@ -24,16 +24,32 @@ number, only the wall-clock. The tests pin this.
 """
 
 from repro.campaign.aggregate import Aggregator, CellAggregate
-from repro.campaign.engine import CampaignSummary, run_campaign, \
-    summarize_store
-from repro.campaign.executor import ExecutionReport, TrialFailure, \
-    execute_trials
+from repro.campaign.engine import (
+    CampaignSummary,
+    run_campaign,
+    summarize_store,
+)
+from repro.campaign.executor import (
+    ExecutionReport,
+    TrialFailure,
+    execute_trials,
+)
 from repro.campaign.progress import ProgressTracker, Ticker
-from repro.campaign.spec import CampaignError, CampaignSpec, \
-    PROTECTED_SCHEMES, TrialSpec, cell_id
+from repro.campaign.spec import (
+    PROTECTED_SCHEMES,
+    CampaignError,
+    CampaignSpec,
+    TrialSpec,
+    cell_id,
+)
 from repro.campaign.store import ResultStore, StoreCorruption
-from repro.campaign.trial import TrialResult, classify_trial, crash_result, \
-    hang_result, run_trial
+from repro.campaign.trial import (
+    TrialResult,
+    classify_trial,
+    crash_result,
+    hang_result,
+    run_trial,
+)
 
 __all__ = [
     "Aggregator", "CellAggregate",

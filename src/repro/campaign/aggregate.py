@@ -105,7 +105,8 @@ class CellAggregate:
         return self.sdc_interval.width / 2 <= halfwidth
 
     def summary(self) -> Dict:
-        mean = lambda total: total / self.trials if self.trials else 0.0
+        def mean(total: float) -> float:
+            return total / self.trials if self.trials else 0.0
         return {
             "trials": self.trials,
             "strikes": self.strikes,

@@ -26,8 +26,12 @@ from typing import Dict, List, Optional, Sequence, Set, TextIO, Tuple
 from repro.campaign.aggregate import Aggregator, CellAggregate
 from repro.campaign.executor import ExecutionReport, execute_trials, run_trial
 from repro.campaign.progress import ProgressTracker, Ticker
-from repro.campaign.spec import CampaignError, CampaignSpec, TrialSpec, \
-    cell_id
+from repro.campaign.spec import (
+    CampaignError,
+    CampaignSpec,
+    TrialSpec,
+    cell_id,
+)
 from repro.campaign.store import ResultStore
 from repro.campaign.trial import TrialResult
 

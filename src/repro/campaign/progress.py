@@ -122,7 +122,8 @@ class ProgressTracker:
             "crashes": self.crashes,
             "cells": {cell: {"done": done, "planned": planned,
                              "eta_seconds": self.cell_eta_seconds(cell)}
-                      for cell, (done, planned) in sorted(self._cells.items())},
+                      for cell, (done, planned)
+                      in sorted(self._cells.items())},
         }
 
 

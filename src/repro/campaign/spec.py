@@ -40,7 +40,7 @@ class TrialSpec:
 
     scheme: str
     workload: str
-    #: per-cycle strike rate fed to :class:`repro.faults.injector.FaultInjector`
+    #: per-cycle strike rate for :class:`repro.faults.injector.FaultInjector`
     ser: float
     seed: int
     #: ``"standard"`` (isolated single-bit upsets) or ``"adversarial"``

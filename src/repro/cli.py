@@ -10,11 +10,13 @@ Everything the library does, runnable from a shell::
     python -m repro fig4|fig5|fig6               # the paper's figures
     python -m repro ser|roec|breakeven           # Sec VI-C / VI-D
     python -m repro campaign run|resume|summarize  # Monte Carlo FI campaigns
+    python -m repro lint                         # simlint determinism gate
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import statistics
 import sys
 from collections import defaultdict
@@ -533,6 +535,20 @@ def _cmd_campaign_summarize(args) -> int:
     return _emit_campaign_summary(summary, args.json)
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import rule_catalogue
+    from repro.analysis.runner import run_lint_cli
+    if args.rules:
+        rows = [(r["code"], r["summary"]) for r in rule_catalogue()]
+        print(format_table(["code", "summary"], rows,
+                           title="simlint rule catalogue"))
+        return 0
+    return run_lint_cli(paths=args.paths, fmt=args.format, root=args.root,
+                        baseline_path=args.baseline,
+                        no_baseline=args.no_baseline,
+                        write_baseline=args.write_baseline)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -674,6 +690,29 @@ def build_parser() -> argparse.ArgumentParser:
     _campaign_common(cp)
     cp.set_defaults(fn=_cmd_campaign_summarize)
 
+    p = sub.add_parser(
+        "lint",
+        help="simlint: AST determinism & hot-path invariant checks "
+             "(exit 0 clean / 1 findings / 2 internal error)")
+    p.add_argument("paths", nargs="*", default=[],
+                   help="files or directories (default: [tool.simlint] "
+                        "paths from pyproject.toml)")
+    p.add_argument("--format", default="text", choices=["text", "json"],
+                   help="report format (json is byte-stable for CI "
+                        "artifacts)")
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="project root holding pyproject.toml "
+                        "(default: cwd)")
+    p.add_argument("--baseline", default=None, metavar="FILE.json",
+                   help="override the configured baseline file")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="report every finding, baseline ignored")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="accept all current findings as the new baseline")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(fn=_cmd_lint)
+
     p = sub.add_parser("bench", help="measure simulator throughput and "
                                      "write BENCH_pipeline.json")
     p.add_argument("--scenarios", nargs="*", default=None,
@@ -741,7 +780,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro list | head`); exit quietly
+        # instead of dumping a traceback over the consumer's output.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

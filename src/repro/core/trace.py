@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 from repro.isa.instructions import Instruction
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceRecord:
     """One instruction's lifecycle."""
 

@@ -231,7 +231,7 @@ BRANCH_FUNCS: Dict[Opcode, Callable[[int, int], bool]] = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True)  # simlint: off=SIM201 — cached_property needs __dict__
 class Instruction:
     """One decoded instruction.
 

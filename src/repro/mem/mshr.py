@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     line_addr: int
     ready_cycle: int

@@ -38,7 +38,7 @@ def csb_entries_for(fingerprint_interval: int, comparison_latency: int) -> int:
     return fingerprint_interval + comparison_latency + 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CSBEntry:
     seq: int
     group: int

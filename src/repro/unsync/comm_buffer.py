@@ -30,7 +30,7 @@ from typing import Deque, List, Optional, Tuple
 ENTRY_BYTES = 12
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CBEntry:
     """One retired store, tagged with its dynamic sequence number (the
     simulator's stand-in for the paper's instruction-address tag)."""

@@ -29,7 +29,7 @@ class EIHConfig:
     stall_latency: int = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingInterrupt:
     raise_cycle: int
     core_id: int
