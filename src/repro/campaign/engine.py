@@ -45,18 +45,51 @@ class CampaignSummary:
     totals: Dict
     progress: Optional[Dict] = None
     early_stopped: List[str] = field(default_factory=list)
+    #: per-scheme silicon cost (area/power vs the unprotected baseline),
+    #: from each scheme's registry-declared ``system_cost`` — a pure
+    #: function of the spec, so it belongs in the deterministic portion
+    hwcost: Dict = field(default_factory=dict)
 
     def stats_dict(self) -> Dict:
         """The deterministic portion (no timing) — what the resume and
         serial-vs-parallel tests compare byte-for-byte."""
         return {"spec": self.spec, "cells": self.cells,
                 "totals": self.totals,
-                "early_stopped": sorted(self.early_stopped)}
+                "early_stopped": sorted(self.early_stopped),
+                "hwcost": self.hwcost}
 
     def to_dict(self) -> Dict:
         data = self.stats_dict()
         data["progress"] = self.progress
         return data
+
+
+def _scheme_hwcost(schemes: Sequence[str]) -> Dict:
+    """Per-scheme silicon cost section for the campaign summary.
+
+    Every number is a pure function of the scheme registry (no
+    simulation state), so the section is identical across serial,
+    parallel, resumed and summarize-only paths. Schemes whose descriptor
+    declares no cost model are simply absent.
+    """
+    from repro.hwcost.redundancy_cost import unprotected_cost
+    from repro.schemes import get as get_scheme
+
+    base = unprotected_cost()
+    section: Dict = {}
+    for name in schemes:
+        cost = get_scheme(name).system_cost()
+        if cost is None:
+            continue
+        section[name] = {
+            "n_cores": cost.n_cores,
+            "area_um2": round(cost.total_area_um2, 3),
+            "power_w": round(cost.total_power_w, 6),
+            "area_overhead": round(cost.area_vs(base), 6),
+            "power_overhead": round(cost.power_vs(base), 6),
+            "self_correcting": cost.self_correcting,
+        }
+    return section
 
 
 def _preload(store: ResultStore, aggregator: Aggregator
@@ -198,7 +231,8 @@ def run_campaign(spec: CampaignSpec,
     return CampaignSummary(spec=spec.to_dict(), cells=stats["cells"],
                            totals=stats["totals"],
                            progress=tracker.summary(),
-                           early_stopped=early_stopped)
+                           early_stopped=early_stopped,
+                           hwcost=_scheme_hwcost(spec.schemes))
 
 
 def summarize_store(store_path) -> CampaignSummary:
@@ -224,4 +258,5 @@ def summarize_store(store_path) -> CampaignSummary:
     stats = aggregator.summary(cell_order=[cell_id(*c) for c in cells])
     return CampaignSummary(spec=spec.to_dict(), cells=stats["cells"],
                            totals=stats["totals"], progress=None,
-                           early_stopped=early_stopped)
+                           early_stopped=early_stopped,
+                           hwcost=_scheme_hwcost(spec.schemes))

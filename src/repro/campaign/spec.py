@@ -20,9 +20,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-#: schemes a campaign may inject into — the unprotected baseline has no
-#: detectors to fire, so it is not a valid fault-injection target.
-PROTECTED_SCHEMES: Tuple[str, ...] = ("unsync", "reunion")
+
+def _protected_schemes() -> Tuple[str, ...]:
+    """Schemes a campaign may inject into — live registry view (the
+    unprotected baseline declares ``protected = False``, so it is never
+    a valid fault-injection target; a scheme registered by a plugin is
+    immediately campaignable)."""
+    from repro.schemes import protected_schemes
+    return protected_schemes()
+
+
+def __getattr__(name: str) -> Tuple[str, ...]:
+    # PEP 562: PROTECTED_SCHEMES stays importable as a module attribute
+    # but is derived from the scheme registry instead of a literal tuple.
+    if name == "PROTECTED_SCHEMES":
+        return _protected_schemes()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class CampaignError(ValueError):
@@ -87,11 +100,12 @@ class CampaignSpec:
         object.__setattr__(self, "schemes", tuple(self.schemes))
         object.__setattr__(self, "workloads", tuple(self.workloads))
         object.__setattr__(self, "sers", tuple(float(s) for s in self.sers))
+        protected = _protected_schemes()
         for scheme in self.schemes:
-            if scheme not in PROTECTED_SCHEMES:
+            if scheme not in protected:
                 raise CampaignError(
                     f"scheme {scheme!r} cannot take fault injection "
-                    f"(choose from {PROTECTED_SCHEMES})")
+                    f"(choose from {protected})")
         if not self.schemes or not self.workloads or not self.sers:
             raise CampaignError("campaign grid has an empty axis")
         if any(s < 0 for s in self.sers):

@@ -251,6 +251,7 @@ def run_trial(trial: TrialSpec) -> TrialResult:
     """
     from repro.harness.runner import run_scheme
     from repro.redundancy.pair import SimulationHang
+    from repro.schemes import get as get_scheme
 
     program = CONTEXT.program(trial.workload)
     injector = build_injector(trial)
@@ -261,10 +262,10 @@ def run_trial(trial: TrialSpec) -> TrialResult:
         return hang_result(trial, exc)
     outcomes = Counter(e.outcome.value for e in res.fault_events
                        if e.outcome is not None)
-    # UnSync charges recovery_cycles, Reunion rollback_cycles; both are
-    # integer cycle totals reported through `extra`.
-    recovery = int(res.extra.get("recovery_cycles", 0)
-                   + res.extra.get("rollback_cycles", 0))
+    # Each scheme declares which `extra` keys charge recovery/rollback
+    # cycles (UnSync charges recovery_cycles, Reunion rollback_cycles);
+    # the default covers both, byte-identically to the old hard-coded sum.
+    recovery = get_scheme(trial.scheme).recovery_cycles(res.extra)
     return TrialResult(scheme=trial.scheme, workload=trial.workload,
                        ser=trial.ser, seed=trial.seed,
                        cycles=res.cycles, instructions=res.instructions,

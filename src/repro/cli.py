@@ -59,6 +59,7 @@ def _load_program(name: str):
 def _cmd_run(args) -> int:
     from repro.faults.injector import FaultInjector
     from repro.harness.runner import run_scheme
+    from repro.schemes import get as get_scheme
     program = _load_program(args.workload)
     kwargs = {}
     if getattr(args, "config", None):
@@ -66,9 +67,10 @@ def _cmd_run(args) -> int:
         kwargs["config"] = load_config(args.config)
     if args.inject > 0:
         kwargs["injector"] = FaultInjector(args.inject, seed=args.seed)
-        if args.scheme == "baseline":
-            raise SystemExit("error: the unprotected baseline cannot take "
-                             "--inject (no detectors to fire)")
+        if not get_scheme(args.scheme).protected:
+            raise SystemExit(f"error: scheme {args.scheme!r} is unprotected "
+                             f"and cannot take --inject (no detectors to "
+                             f"fire)")
     res = run_scheme(args.scheme, program, **kwargs)
     rows = [("scheme", res.scheme), ("workload", res.name),
             ("cycles", res.cycles), ("instructions", res.instructions),
@@ -234,13 +236,12 @@ def _cmd_energy(args) -> int:
     from repro.harness.runner import compare_schemes
     program = _load_program(args.workload)
     cmp = compare_schemes(program)
-    reports = compare_energy({"baseline": cmp.baseline,
-                              "unsync": cmp.unsync,
-                              "reunion": cmp.reunion})
+    results = {"baseline": cmp.baseline, "unsync": cmp.unsync,
+               "reunion": cmp.reunion}
+    reports = compare_energy(results)
     rows = []
     for scheme, rep in reports.items():
-        res = {"baseline": cmp.baseline, "unsync": cmp.unsync,
-               "reunion": cmp.reunion}[scheme]
+        res = results[scheme]
         rows.append([scheme, res.cycles,
                      f"{rep.total_energy_j * 1e6:.1f}",
                      f"{rep.energy_per_instruction_nj(res.instructions):.2f}",
@@ -343,16 +344,13 @@ def _cmd_bench(args) -> int:
 
 def _cmd_trace_diagram(args) -> int:
     from repro.core.trace import PipelineTracer, render_timeline
-    from repro.redundancy.pair import BaselineSystem
-    from repro.reunion.system import ReunionSystem
-    from repro.unsync.system import UnSyncSystem
+    from repro.schemes import get as get_scheme
     program = _load_program(args.workload)
-    cls = {"baseline": BaselineSystem, "unsync": UnSyncSystem,
-           "reunion": ReunionSystem}[args.scheme]
-    system = cls(program)
+    system = get_scheme(args.scheme).build_system(program)
     tracer = PipelineTracer()
-    pipelines = ([system.pipeline] if args.scheme == "baseline"
-                 else system.pipelines)
+    # pair schemes expose `pipelines`; single-leader systems (baseline,
+    # MEEK) expose one `pipeline` — the diagram follows core 0 either way
+    pipelines = getattr(system, "pipelines", None) or [system.pipeline]
     pipelines[0].tracer = tracer
     system.run()
     print(render_timeline(tracer, first_seq=args.start, count=args.count))
@@ -365,15 +363,17 @@ def _cmd_trace_diagram(args) -> int:
 def _cmd_trace_run(args) -> int:
     from repro.faults.injector import FaultInjector
     from repro.harness.runner import run_scheme
+    from repro.schemes import get as get_scheme
     from repro.telemetry import Telemetry
     from repro.telemetry.chrome import validate_chrome, write_chrome
     program = _load_program(args.workload)
     telemetry = Telemetry()
     kwargs = {"telemetry": telemetry}
     if args.inject > 0:
-        if args.scheme == "baseline":
-            raise SystemExit("error: the unprotected baseline cannot take "
-                             "--inject (no detectors to fire)")
+        if not get_scheme(args.scheme).protected:
+            raise SystemExit(f"error: scheme {args.scheme!r} is unprotected "
+                             f"and cannot take --inject (no detectors to "
+                             f"fire)")
         kwargs["injector"] = FaultInjector(args.inject, seed=args.seed)
     res = run_scheme(args.scheme, program, **kwargs)
     doc = write_chrome(telemetry.events, args.out)
@@ -455,6 +455,15 @@ def _print_campaign_summary(summary) -> None:
           f"{t['sdc_trials']} SDC trials, {t.get('due_trials', 0)} DUE, "
           f"{t.get('hang_trials', 0)} hang, {t.get('crash_trials', 0)} "
           f"crash, {t['recovered_trials']} recovered trials")
+    if getattr(summary, "hwcost", None):
+        print(format_table(
+            ["scheme", "cores", "area (mm^2)", "power (W)",
+             "area vs unprot", "power vs unprot"],
+            [[s, c["n_cores"], f"{c['area_um2'] / 1e6:.2f}",
+              f"{c['power_w']:.2f}", pct(c["area_overhead"]),
+              pct(c["power_overhead"])]
+             for s, c in summary.hwcost.items()],
+            title="Silicon cost per protected thread"))
     if summary.early_stopped:
         print("early-stopped cells: " + ", ".join(summary.early_stopped))
     if summary.progress is not None:
@@ -550,6 +559,14 @@ def _cmd_lint(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # every --scheme/--schemes choice list is derived from the registry,
+    # so a newly registered scheme is runnable from the CLI with no
+    # parser edits (and an unknown name fails argparse's own validation
+    # with the available names spelled out)
+    from repro.schemes import available, protected_schemes
+    all_schemes = list(available())
+    injectable = list(protected_schemes())
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="UnSync (ICPP 2011) reproduction — simulators, cost "
@@ -560,8 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run one workload on one scheme")
     p.add_argument("workload", help="benchmark, kernel, or .s file")
-    p.add_argument("--scheme", default="unsync",
-                   choices=["baseline", "unsync", "reunion"])
+    p.add_argument("--scheme", default="unsync", choices=all_schemes)
     p.add_argument("--inject", type=float, default=0.0, metavar="RATE",
                    help="per-cycle strike rate (e.g. 1e-3)")
     p.add_argument("--seed", type=int, default=0)
@@ -647,7 +663,9 @@ def build_parser() -> argparse.ArgumentParser:
     _campaign_common(cp)
     _campaign_exec(cp)
     cp.add_argument("--schemes", nargs="+", default=["unsync", "reunion"],
-                    choices=["unsync", "reunion"])
+                    choices=injectable,
+                    help="fault-injection targets (any registered "
+                         "protected scheme)")
     cp.add_argument("--workloads", nargs="+", required=True,
                     help="benchmarks and/or kernels (see `repro list`)")
     cp.add_argument("--ser", nargs="*", type=float, default=None,
@@ -742,8 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
     tp = tsub.add_parser("diagram", help="ASCII pipeline diagram for a "
                                          "workload's first N instructions")
     tp.add_argument("workload")
-    tp.add_argument("--scheme", default="baseline",
-                    choices=["baseline", "unsync", "reunion"])
+    tp.add_argument("--scheme", default="baseline", choices=all_schemes)
     tp.add_argument("--start", type=int, default=0, metavar="SEQ")
     tp.add_argument("--count", type=int, default=24)
     tp.set_defaults(fn=_cmd_trace_diagram)
@@ -751,8 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
     tp = tsub.add_parser("run", help="run a workload with telemetry on and "
                                      "export a Chrome trace (Perfetto)")
     tp.add_argument("workload")
-    tp.add_argument("--scheme", default="unsync",
-                    choices=["baseline", "unsync", "reunion"])
+    tp.add_argument("--scheme", default="unsync", choices=all_schemes)
     tp.add_argument("--inject", type=float, default=0.0, metavar="RATE",
                     help="per-cycle strike rate (e.g. 1e-3)")
     tp.add_argument("--seed", type=int, default=0)

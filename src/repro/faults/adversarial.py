@@ -198,12 +198,17 @@ class AdversarialInjector(FaultInjector):
 def adversarial_injector(scheme: str, per_cycle_rate: float, seed: int = 0,
                          config: Optional[AdversarialConfig] = None
                          ) -> AdversarialInjector:
-    """The adversarial injector for one scheme's structure inventory."""
-    if scheme == "unsync":
-        uncore: Sequence[Block] = UNSYNC_UNCORE_BLOCKS
-    elif scheme == "reunion":
-        uncore = REUNION_UNCORE_BLOCKS
-    else:
+    """The adversarial injector for one scheme's structure inventory.
+
+    The scheme registry declares each scheme's uncore strike targets
+    (UnSync's checkpoint buffers, Reunion's fingerprint path, RepTFD's
+    replay queue, MEEK's check queue); a scheme outside the registry
+    simply exposes no uncore surface.
+    """
+    from repro.schemes import UnknownSchemeError, get
+    try:
+        uncore: Sequence[Block] = get(scheme).uncore_blocks()
+    except UnknownSchemeError:
         uncore = ()
     return AdversarialInjector(per_cycle_rate, seed=seed, config=config,
                                uncore_blocks=uncore)

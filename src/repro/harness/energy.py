@@ -24,14 +24,19 @@ from repro.hwcost.synthesis import synthesize
 from repro.hwcost.tech import TECH_65NM, TechNode
 from repro.redundancy.stats import RunResult
 
-#: cores a scheme keeps busy per protected thread
+#: cores a scheme keeps busy per protected thread (MEEK's in-order
+#: checker is a fraction of a core — see CHECKER_CORE_FRACTION — so its
+#: effective core count is below 2)
 CORES_PER_SCHEME = {"baseline": 1, "unsync": 2, "reunion": 2,
-                    "checkpoint": 2, "tmr": 3}
+                    "checkpoint": 2, "tmr": 3, "reptfd": 2,
+                    "meek": 1.3}
 
-#: which synthesized column prices a scheme's core
+#: which synthesized column prices a scheme's core (RepTFD and MEEK run
+#: plain MIPS cores — their detection silicon is queues and comparators,
+#: charged as event energy)
 _COSTING_SCHEME = {"baseline": "mips", "unsync": "unsync",
                    "reunion": "reunion", "checkpoint": "mips",
-                   "tmr": "mips"}
+                   "tmr": "mips", "reptfd": "mips", "meek": "mips"}
 
 
 @dataclass
@@ -84,6 +89,18 @@ def _event_energy(result: RunResult, tech: TechNode) -> Dict[str, float]:
         # checkpoint bytes move through the memory system
         bytes_captured = extra.get("checkpoint_bytes", 0)
         out["checkpoint_traffic"] = bytes_captured * 10e-12  # ~10 pJ/byte
+    elif result.scheme == "reptfd":
+        from repro.hwcost.redundancy_cost import REPLAY_ENTRY_BITS
+        queue = cb_array(96, entry_bits=REPLAY_ENTRY_BITS)
+        per_access = queue.power_w * cycle_s
+        # every compared record was pushed once and popped once
+        out["replay_queue"] = per_access * 2 * extra.get("replay_compares", 0)
+        out["rollback_refill"] = per_access * extra.get("rollback_cycles", 0)
+    elif result.scheme == "meek":
+        from repro.hwcost.redundancy_cost import CHECK_ENTRY_BITS
+        queue = cb_array(64, entry_bits=CHECK_ENTRY_BITS)
+        per_access = queue.power_w * cycle_s
+        out["check_queue"] = per_access * 2 * extra.get("checks", 0)
     return out
 
 

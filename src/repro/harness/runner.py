@@ -12,11 +12,10 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.config import SystemConfig
 from repro.isa.program import Program
-from repro.redundancy.pair import BaselineSystem
 from repro.redundancy.stats import RunResult
 from repro.reunion.check_stage import ReunionParams
-from repro.reunion.system import ReunionSystem
-from repro.unsync.system import UnSyncConfig, UnSyncSystem
+from repro.schemes import get as get_scheme
+from repro.unsync.system import UnSyncConfig
 
 _baseline_cache: Dict[Tuple, RunResult] = {}
 
@@ -32,22 +31,23 @@ def run_scheme(scheme: str, program: Program,
                **kwargs) -> RunResult:
     """Run one scheme on one program.
 
-    ``scheme`` is ``"baseline"``, ``"unsync"`` or ``"reunion"``. Extra
-    kwargs are forwarded to the system constructor (injector, detectors,
-    csb_entries, ...). ``max_cycles`` tightens the cycle-budget watchdog
-    (the campaign trial runner uses it to classify wedged simulations as
-    ``HANG`` instead of waiting out the generous default).
+    ``scheme`` is any :func:`repro.schemes.available` name (an unknown
+    one raises :class:`~repro.schemes.UnknownSchemeError`, a
+    ``ValueError``). Extra kwargs are forwarded to the system constructor
+    (injector, detectors, csb_entries, ...); ``reunion_params`` /
+    ``unsync_config`` are kept as explicit legacy spellings of the
+    respective schemes' ``params`` / ``unsync`` kwargs. ``max_cycles``
+    tightens the cycle-budget watchdog (the campaign trial runner uses it
+    to classify wedged simulations as ``HANG`` instead of waiting out the
+    generous default).
     """
     budget = max_cycles if max_cycles is not None else MAX_CYCLES
-    if scheme == "baseline":
-        return BaselineSystem(program, config=config, **kwargs).run(budget)
-    if scheme == "unsync":
-        return UnSyncSystem(program, config=config, unsync=unsync_config,
-                            **kwargs).run(budget)
-    if scheme == "reunion":
-        return ReunionSystem(program, config=config, params=reunion_params,
-                             **kwargs).run(budget)
-    raise ValueError(f"unknown scheme {scheme!r}")
+    if scheme == "unsync" and unsync_config is not None:
+        kwargs.setdefault("unsync", unsync_config)
+    if scheme == "reunion" and reunion_params is not None:
+        kwargs.setdefault("params", reunion_params)
+    system = get_scheme(scheme).build_system(program, config=config, **kwargs)
+    return system.run(budget)
 
 
 def _config_key(config: Optional[SystemConfig]) -> Tuple:

@@ -8,6 +8,8 @@ per-protected-thread level and adds the TMR comparator the paper cites
 * UnSync pair   = 2 x (UnSync core + parity L1) + 2 CBs
 * Reunion pair  = 2 x (Reunion core + SECDED L1)
 * TMR triple    = 3 x (plain MIPS core + L1) + 3 CBs + voter
+* RepTFD pair   = 2 x (plain MIPS core) + replay queue + comparator
+* MEEK pair     = OoO leader + small in-order checker + check queue
 """
 
 from __future__ import annotations
@@ -24,6 +26,21 @@ from repro.hwcost.tech import TECH_65NM, TechNode
 #: majority voter: ~3 gates per voted bit over a 66-bit store entry,
 #: plus control — small change compared to a core.
 VOTER_GATES = 3 * 66 + 40
+
+#: RepTFD replay-queue entry: pc + result + address + value + tags.
+REPLAY_ENTRY_BITS = 130
+
+#: MEEK check-queue entry: forwarded operands/result + tags.
+CHECK_ENTRY_BITS = 100
+
+#: full-value comparator across one replay record (one XOR-reduce tree
+#: per compared field plus control).
+COMPARATOR_GATES = 2 * REPLAY_ENTRY_BITS + 40
+
+#: MEEK's in-order checker core relative to the OoO leader: no rename,
+#: no issue queue, no speculation — an order of magnitude simpler
+#: control, dominated by the datapath and its shadow register file.
+CHECKER_CORE_FRACTION = 0.3
 
 
 @dataclass
@@ -76,7 +93,36 @@ def tmr_triple_cost(tech: TechNode = TECH_65NM,
     return SchemeSystemCost("tmr", 3, area, power, self_correcting=True)
 
 
+def reptfd_pair_cost(tech: TechNode = TECH_65NM,
+                     queue_entries: int = 96) -> SchemeSystemCost:
+    """Two *plain* MIPS cores (no detectors, no CHECK stage) plus the
+    replay queue and the full-value comparator — RepTFD's silicon story
+    is that all the detection hardware is one FIFO and one comparator."""
+    base = synthesize("mips", tech)
+    queue = cb_array(queue_entries, entry_bits=REPLAY_ENTRY_BITS)
+    cmp_area = COMPARATOR_GATES * tech.gate_area_um2
+    cmp_power = MIPS_CORE_POWER_W * (cmp_area / MIPS_CORE_AREA_UM2)
+    area = 2 * base.total_area_um2 + queue.area_um2 + cmp_area
+    power = 2 * base.total_power_w + queue.power_w + cmp_power
+    return SchemeSystemCost("reptfd", 2, area, power, self_correcting=False)
+
+
+def meek_pair_cost(tech: TechNode = TECH_65NM,
+                   queue_entries: int = 64) -> SchemeSystemCost:
+    """One OoO leader plus the small in-order checker core plus the
+    check queue — the sub-2x replication point none of the pair schemes
+    can reach."""
+    base = synthesize("mips", tech)
+    queue = cb_array(queue_entries, entry_bits=CHECK_ENTRY_BITS)
+    checker_area = base.total_area_um2 * CHECKER_CORE_FRACTION
+    checker_power = base.total_power_w * CHECKER_CORE_FRACTION
+    area = base.total_area_um2 + checker_area + queue.area_um2
+    power = base.total_power_w + checker_power + queue.power_w
+    return SchemeSystemCost("meek", 2, area, power, self_correcting=False)
+
+
 def redundancy_comparison(tech: TechNode = TECH_65NM) -> List[SchemeSystemCost]:
-    """All four options, per protected thread."""
+    """Every costed option, per protected thread."""
     return [unprotected_cost(tech), unsync_pair_cost(tech),
-            reunion_pair_cost(tech), tmr_triple_cost(tech)]
+            reunion_pair_cost(tech), tmr_triple_cost(tech),
+            reptfd_pair_cost(tech), meek_pair_cost(tech)]

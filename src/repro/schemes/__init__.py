@@ -1,0 +1,59 @@
+"""repro.schemes: the pluggable resilience-scheme registry.
+
+Public surface::
+
+    from repro.schemes import get, register, available, protected_schemes
+
+    system = get("unsync").build_system(program, injector=injector)
+    result = system.run(max_cycles)
+
+Registration order fixes the canonical scheme ordering everywhere a
+list of schemes is presented (CLI choices, hwcost tables, CI smoke):
+the two ported schemes first — ``protected_schemes()`` therefore starts
+``("unsync", "reunion")``, preserving the historical
+``PROTECTED_SCHEMES`` tuple as a prefix — then the two new backends,
+then the unprotected baseline.
+
+To add a scheme: subclass :class:`ResilienceScheme`, implement
+``build_system`` (and whichever of ``detectors`` / ``uncore_blocks`` /
+``system_cost`` apply), and :func:`register` an instance. See
+README.md's "Resilience schemes" section for a worked example.
+"""
+
+from repro.schemes.base import (
+    ResilienceScheme,
+    UnknownSchemeError,
+    available,
+    get,
+    protected_schemes,
+    register,
+    unregister,
+)
+from repro.schemes.builtin import (
+    BaselineScheme,
+    MEEKScheme,
+    RepTFDScheme,
+    ReunionScheme,
+    UnSyncScheme,
+)
+
+register(UnSyncScheme())
+register(ReunionScheme())
+register(RepTFDScheme())
+register(MEEKScheme())
+register(BaselineScheme())
+
+__all__ = [
+    "BaselineScheme",
+    "MEEKScheme",
+    "RepTFDScheme",
+    "ResilienceScheme",
+    "ReunionScheme",
+    "UnSyncScheme",
+    "UnknownSchemeError",
+    "available",
+    "get",
+    "protected_schemes",
+    "register",
+    "unregister",
+]

@@ -1,0 +1,137 @@
+"""The resilience-scheme seam: one protocol, one registry.
+
+A :class:`ResilienceScheme` bundles everything the rest of the repo needs
+to know about one protection scheme — how to build its system over the
+shared core+mem model, which detectors guard its blocks, which uncore
+structures the adversarial fault model may strike, what its silicon
+costs, and how a campaign trial charges its recovery time. The campaign
+grid, the CLI, the fault models and the hwcost reports all resolve
+schemes through :func:`get`/:func:`available` instead of hard-coded
+``{"unsync": ..., "reunion": ...}`` dicts, so adding a scheme means
+registering one descriptor — nothing else changes.
+
+Descriptors are deliberately *light*: the heavy system classes are
+imported lazily inside :meth:`ResilienceScheme.build_system` (and the
+other hooks), so importing ``repro.schemes`` — which campaign specs do
+at validation time — never drags in the simulators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class UnknownSchemeError(ValueError):
+    """Lookup of a scheme name the registry does not hold.
+
+    A ``ValueError`` subclass so historical ``except ValueError`` /
+    ``pytest.raises(ValueError)`` sites around ``run_scheme`` keep
+    working; the message lists what *is* registered so a typo on the
+    command line is self-diagnosing.
+    """
+
+    def __init__(self, name: str, known: Tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown scheme {name!r} (available: {', '.join(known)})")
+        self.name = name
+        self.known = known
+
+
+class ResilienceScheme:
+    """One protection scheme's descriptor (subclass per scheme).
+
+    Class attributes describe the scheme; methods are the seam's hooks.
+    The defaults suit a detect-and-recover pair scheme; override what
+    differs. All imports of simulator/cost modules belong *inside* the
+    hook bodies (see the module docstring).
+    """
+
+    #: registry key, CLI ``--scheme`` value, and ``RunResult.scheme`` tag
+    name: str = ""
+    #: may a fault-injection campaign target this scheme? (the
+    #: unprotected baseline has no detectors to fire)
+    protected: bool = True
+    #: cores a scheme keeps busy per protected thread
+    n_cores: int = 2
+    #: one-line description for ``--help`` and the README table
+    description: str = ""
+    #: telemetry event tracks the scheme's system emits on (informational;
+    #: the Chrome exporter derives actual rows from the event log)
+    telemetry_tracks: Tuple[str, ...] = ()
+    #: dotted prefix of the scheme's named metric counters
+    metric_prefix: str = ""
+    #: ``RunResult.extra`` keys summed into a trial's recovery-cycle
+    #: charge. The default covers both historical conventions (UnSync
+    #: charges ``recovery_cycles``, Reunion ``rollback_cycles``) with the
+    #: exact arithmetic the trial runner always used, so fixed-seed
+    #: campaign stores stay byte-identical across the port.
+    recovery_extra_keys: Tuple[str, ...] = ("recovery_cycles",
+                                            "rollback_cycles")
+
+    # -- construction -------------------------------------------------------
+    def build_system(self, program, config=None, **kwargs):
+        """Build this scheme's system over ``program`` (must override).
+
+        ``kwargs`` are forwarded to the system constructor (``injector``,
+        ``detectors``, ``telemetry``, scheme-specific knobs ...). The
+        returned object exposes ``run(max_cycles) -> RunResult``.
+        """
+        raise NotImplementedError
+
+    # -- fault model --------------------------------------------------------
+    def detectors(self) -> Dict:
+        """Block-name -> :class:`~repro.faults.detection.Detector` map the
+        scheme's system installs by default (empty = no detectors)."""
+        return {}
+
+    def uncore_blocks(self) -> Tuple:
+        """Scheme-private uncore structures the adversarial fault model
+        may strike (:class:`~repro.faults.injector.Block` tuple)."""
+        return ()
+
+    # -- accounting ---------------------------------------------------------
+    def recovery_cycles(self, extra: Dict[str, float]) -> int:
+        """Cycles a finished run spent recovering, from its ``extra``."""
+        return int(sum(extra.get(key, 0) for key in self.recovery_extra_keys))
+
+    def system_cost(self, tech=None):
+        """Per-protected-thread silicon cost
+        (:class:`~repro.hwcost.redundancy_cost.SchemeSystemCost`), or
+        ``None`` when the scheme has no cost model."""
+        return None
+
+
+# -- registry ---------------------------------------------------------------
+_REGISTRY: Dict[str, ResilienceScheme] = {}
+
+
+def register(scheme: ResilienceScheme) -> ResilienceScheme:
+    """Add ``scheme`` to the registry (last registration wins, so tests
+    may shadow a builtin and restore it)."""
+    if not scheme.name:
+        raise ValueError("scheme descriptor needs a non-empty name")
+    _REGISTRY[scheme.name] = scheme
+    return scheme
+
+
+def unregister(name: str) -> None:
+    """Remove a scheme (test hygiene; unknown names are a no-op)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> ResilienceScheme:
+    """The descriptor registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSchemeError(name, available()) from None
+
+
+def available() -> Tuple[str, ...]:
+    """All registered scheme names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def protected_schemes() -> Tuple[str, ...]:
+    """Registered schemes a fault-injection campaign may target."""
+    return tuple(name for name, s in _REGISTRY.items() if s.protected)

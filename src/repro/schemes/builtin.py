@@ -1,0 +1,145 @@
+"""The built-in scheme descriptors.
+
+Each descriptor is a thin, import-light adapter from the
+:class:`~repro.schemes.base.ResilienceScheme` seam onto the actual
+simulator/cost modules; the heavy imports all live inside the hook
+bodies so the registry itself stays cheap to import (campaign specs
+resolve it at validation time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.schemes.base import ResilienceScheme
+
+
+class BaselineScheme(ResilienceScheme):
+    """The unprotected single core — the figure-4/5/6 reference."""
+
+    name = "baseline"
+    protected = False
+    n_cores = 1
+    description = "unprotected single core + write buffer (no detection)"
+    telemetry_tracks = ("core0.mem", "watchdog")
+    metric_prefix = "baseline."
+    recovery_extra_keys: Tuple[str, ...] = ()
+
+    def build_system(self, program, config=None, **kwargs):
+        from repro.redundancy.pair import BaselineSystem
+        return BaselineSystem(program, config=config, **kwargs)
+
+    def system_cost(self, tech=None):
+        from repro.hwcost.redundancy_cost import unprotected_cost
+        from repro.hwcost.tech import TECH_65NM
+        return unprotected_cost(tech or TECH_65NM)
+
+
+class UnSyncScheme(ResilienceScheme):
+    """The paper's architecture: un-synchronized pair, CB + EIH."""
+
+    name = "unsync"
+    protected = True
+    n_cores = 2
+    description = ("un-synchronized redundant pair: parity/DMR detectors, "
+                   "CB store dedup, EIH always-forward recovery")
+    telemetry_tracks = ("core0", "core1", "cb", "eih", "watchdog")
+    metric_prefix = "unsync."
+
+    def build_system(self, program, config=None, **kwargs):
+        from repro.unsync.system import UnSyncSystem
+        return UnSyncSystem(program, config=config, **kwargs)
+
+    def detectors(self) -> Dict:
+        from repro.faults.injector import UNSYNC_DETECTORS
+        return dict(UNSYNC_DETECTORS)
+
+    def uncore_blocks(self) -> Tuple:
+        from repro.faults.adversarial import UNSYNC_UNCORE_BLOCKS
+        return UNSYNC_UNCORE_BLOCKS
+
+    def system_cost(self, tech=None):
+        from repro.hwcost.redundancy_cost import unsync_pair_cost
+        from repro.hwcost.tech import TECH_65NM
+        return unsync_pair_cost(tech or TECH_65NM)
+
+
+class ReunionScheme(ResilienceScheme):
+    """The comparison baseline: fingerprint-compared vocal/mute pair."""
+
+    name = "reunion"
+    protected = True
+    n_cores = 2
+    description = ("fingerprint-compared vocal/mute pair: CRC-16 CHECK "
+                   "stage, SECDED L1s, rollback recovery")
+    telemetry_tracks = ("core0", "core1", "check", "watchdog")
+    metric_prefix = "reunion."
+
+    def build_system(self, program, config=None, **kwargs):
+        from repro.reunion.system import ReunionSystem
+        return ReunionSystem(program, config=config, **kwargs)
+
+    def detectors(self) -> Dict:
+        from repro.faults.injector import REUNION_DETECTORS
+        return dict(REUNION_DETECTORS)
+
+    def uncore_blocks(self) -> Tuple:
+        from repro.faults.adversarial import REUNION_UNCORE_BLOCKS
+        return REUNION_UNCORE_BLOCKS
+
+    def system_cost(self, tech=None):
+        from repro.hwcost.redundancy_cost import reunion_pair_cost
+        from repro.hwcost.tech import TECH_65NM
+        return reunion_pair_cost(tech or TECH_65NM)
+
+
+class RepTFDScheme(ResilienceScheme):
+    """Delayed-replay comparison against the leading core."""
+
+    name = "reptfd"
+    protected = True
+    n_cores = 2
+    description = ("delayed-replay pair: leader commit records compared "
+                   "by a lagging trailer, full-value check, rollback "
+                   "recovery")
+    telemetry_tracks = ("core0", "core1", "replay", "watchdog")
+    metric_prefix = "reptfd."
+
+    def build_system(self, program, config=None, **kwargs):
+        from repro.schemes.reptfd import RepTFDSystem
+        return RepTFDSystem(program, config=config, **kwargs)
+
+    def uncore_blocks(self) -> Tuple:
+        from repro.schemes.reptfd import REPTFD_UNCORE_BLOCKS
+        return REPTFD_UNCORE_BLOCKS
+
+    def system_cost(self, tech=None):
+        from repro.hwcost.redundancy_cost import reptfd_pair_cost
+        from repro.hwcost.tech import TECH_65NM
+        return reptfd_pair_cost(tech or TECH_65NM)
+
+
+class MEEKScheme(ResilienceScheme):
+    """Cheap in-order trailing checker core paired with the OoO leader."""
+
+    name = "meek"
+    protected = True
+    n_cores = 2
+    description = ("OoO leader + small in-order checker: bounded check "
+                   "queue with stall-on-full backpressure, forwarded "
+                   "loads (L1/TLB uncovered)")
+    telemetry_tracks = ("core0", "checkq", "watchdog")
+    metric_prefix = "meek."
+
+    def build_system(self, program, config=None, **kwargs):
+        from repro.schemes.meek import MEEKSystem
+        return MEEKSystem(program, config=config, **kwargs)
+
+    def uncore_blocks(self) -> Tuple:
+        from repro.schemes.meek import MEEK_UNCORE_BLOCKS
+        return MEEK_UNCORE_BLOCKS
+
+    def system_cost(self, tech=None):
+        from repro.hwcost.redundancy_cost import meek_pair_cost
+        from repro.hwcost.tech import TECH_65NM
+        return meek_pair_cost(tech or TECH_65NM)

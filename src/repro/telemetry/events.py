@@ -41,12 +41,16 @@ MEM_MISS_BURST = "mem.miss_burst"     #: span: a dense run of L1/TLB misses
 RECOVERY_REENTRY = "recovery.reentry"  #: a strike landed mid-recovery
 RECOVERY_ABORT = "recovery.abort"     #: recovery aborted and restarted
 WATCHDOG_TRIP = "watchdog.trip"       #: the cycle-budget watchdog fired
+REPLAY_COMPARE = "replay.compare"     #: a delayed-replay mismatch landed
+REPLAY_GATE = "replay.gate"           #: span: commit stalled, replay Q full
+CHECKQ_GATE = "checkq.gate"           #: span: commit stalled, check Q full
+CHECKQ_DRAIN = "checkq.drain"         #: checker verified a queue batch
 
 EVENT_NAMES = (
     FAULT_INJECTED, FAULT_DETECTED, FAULT_SDC, FAULT_MULTIBIT, FAULT_DUE,
     EIH_INTERRUPT, EIH_RECOVERY, CB_GATE, CB_DRAIN, FP_COMPARE, FP_MISMATCH,
     ROLLBACK, CSB_GATE, MEM_MISS_BURST, RECOVERY_REENTRY, RECOVERY_ABORT,
-    WATCHDOG_TRIP,
+    WATCHDOG_TRIP, REPLAY_COMPARE, REPLAY_GATE, CHECKQ_GATE, CHECKQ_DRAIN,
 )
 
 
