@@ -41,7 +41,16 @@ HOT_PACKAGES: Tuple[str, ...] = (
     "src/repro/reunion/",
 )
 
-DEFAULT_RULE_PATHS: Dict[str, Tuple[str, ...]] = {"SIM201": HOT_PACKAGES}
+#: packages where per-trial state copies are the hot path (SIM106)
+COPY_PACKAGES: Tuple[str, ...] = (
+    "src/repro/campaign/",
+    "src/repro/checkpoint/",
+)
+
+DEFAULT_RULE_PATHS: Dict[str, Tuple[str, ...]] = {
+    "SIM201": HOT_PACKAGES,
+    "SIM106": COPY_PACKAGES,
+}
 
 
 class LintConfigError(ValueError):

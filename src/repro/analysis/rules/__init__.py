@@ -18,6 +18,7 @@ from typing import Dict, List, Tuple
 
 from repro.analysis.framework import Rule
 from repro.analysis.rules.determinism import (
+    DeepcopyOnHotState,
     DictMutatedDuringIteration,
     IdAsKey,
     UnorderedSetIteration,
@@ -38,6 +39,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     UnorderedSetIteration(),
     IdAsKey(),
     DictMutatedDuringIteration(),
+    DeepcopyOnHotState(),
     SlotsOnHotRecords(),
     FormatInStepLoop(),
     NonModuleLevelWorker(),

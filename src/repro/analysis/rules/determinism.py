@@ -385,3 +385,36 @@ class DictMutatedDuringIteration(Rule):
                         and ast.dump(node.func.value) == base_dump):
                     return True
         return False
+
+
+class DeepcopyOnHotState(Rule):
+    """SIM106: no ``copy.deepcopy`` on hot system state.
+
+    ``deepcopy`` walks the whole object graph through the generic memo
+    machinery — against the differential-replay snapshot path (typed
+    ``clone()`` methods, content-interned page tables, copy-on-write
+    restores) it is an order-of-magnitude tax, and it silently drags in
+    whatever the graph happens to reach (telemetry sinks, bus/L2
+    cross-references, bound RNGs), decoupling the copy's meaning from
+    the snapshot protocol's. Scoped (via ``[tool.simlint.rule-paths]``)
+    to the campaign and checkpoint packages, where per-trial copies are
+    the hot path.
+    """
+
+    code: ClassVar[str] = "SIM106"
+    summary: ClassVar[str] = (
+        "copy.deepcopy on hot system state — use the snapshot protocol "
+        "(ArchState.clone / checkpoint.snapshot) instead")
+    example: ClassVar[str] = "saved = copy.deepcopy(system)  # per trial!"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.resolve(node.func) == "copy.deepcopy":
+                yield self.finding(
+                    ctx, node,
+                    "copy.deepcopy walks the full object graph per call "
+                    "— snapshot hot state with ArchState.clone() / "
+                    "repro.checkpoint.snapshot (typed, page-interned, "
+                    "copy-on-write) instead")

@@ -119,6 +119,12 @@ def _prefix_aggregate(cell: str, batches: Sequence[Sequence[TrialSpec]],
     return agg
 
 
+#: campaign execution modes: ``full`` re-simulates every trial from
+#: cycle 0; ``differential`` fast-forwards each trial from a cached
+#: fault-free prefix snapshot (see :mod:`repro.campaign.snapshot`)
+EXEC_MODES: Tuple[str, ...] = ("full", "differential")
+
+
 def run_campaign(spec: CampaignSpec,
                  store_path,
                  workers: Optional[int] = None,
@@ -126,14 +132,33 @@ def run_campaign(spec: CampaignSpec,
                  runner=run_trial,
                  progress_stream: Optional[TextIO] = None,
                  ticker_enabled: Optional[bool] = None,
+                 exec_mode: str = "full",
+                 snapshot_interval: Optional[int] = None,
                  ) -> CampaignSummary:
     """Run (or resume) a campaign against a JSONL store.
 
     A fresh store is created from ``spec``; an existing one must carry an
     identical spec header, and its completed trials are skipped. The
     returned summary's statistics depend only on the spec — never on
-    worker count, timing, interruptions, or retry history.
+    worker count, timing, interruptions, retry history, or execution
+    mode: ``exec_mode`` (and ``snapshot_interval``, differential-only)
+    trade wall-clock for nothing else, so it is deliberately *not* part
+    of the spec or the store header, and a store begun in one mode may
+    be resumed in the other.
     """
+    if exec_mode not in EXEC_MODES:
+        raise CampaignError(
+            f"exec_mode {exec_mode!r} unknown (choose from {EXEC_MODES})")
+    submit_order = None
+    if exec_mode == "differential" and runner is run_trial:
+        # a caller-supplied runner wins over the mode switch (tests and
+        # external harnesses replace the trial function wholesale)
+        from repro.campaign.snapshot import (
+            differential_runner,
+            submission_key,
+        )
+        runner = differential_runner(snapshot_interval)
+        submit_order = submission_key(snapshot_interval)
     store = ResultStore(store_path)
     store.repair()  # drop any torn final line before we append past it
     if store.exists():
@@ -215,7 +240,7 @@ def run_campaign(spec: CampaignSpec,
             wave_report = ExecutionReport()
             execute_trials(wave, workers=workers, timeout=timeout,
                            runner=runner, on_result=on_result,
-                           report=wave_report)
+                           report=wave_report, submit_order=submit_order)
             report.worker_failures += wave_report.worker_failures
             report.retries += wave_report.retries
             report.timeouts += wave_report.timeouts

@@ -98,13 +98,24 @@ def execute_trials(trials: Sequence[TrialSpec],
                    runner: Callable[[TrialSpec], TrialResult] = run_trial,
                    on_result: Optional[Callable[[TrialResult], None]] = None,
                    report: Optional[ExecutionReport] = None,
+                   submit_order: Optional[Callable[[TrialSpec], object]]
+                   = None,
                    ) -> List[TrialResult]:
-    """Run one wave of trials; results in submission order.
+    """Run one wave of trials; results in the wave's original order.
 
-    ``on_result`` fires in submission order as results are collected
-    (the engine appends to the store and ticks progress from it).
-    ``timeout`` bounds each job's wait in seconds; a timed-out job is
-    counted and retried in-process like any other failure.
+    ``on_result`` fires in the wave's original order as results are
+    collected (the engine appends to the store and ticks progress from
+    it). ``timeout`` bounds each job's wait in seconds; a timed-out job
+    is counted and retried in-process like any other failure.
+
+    ``submit_order`` is a pure *scheduling hint*: a sort key applied to
+    the order trials enter the pool's queue (differential replay groups
+    a wave by (cell, snapshot epoch) so worker-local prefix caches stay
+    warm). Results, ``on_result`` firing and retries keep the original
+    order regardless — the key can never change a campaign store by a
+    byte. The serial path ignores it: one process holds one cache, and
+    waves are already cell-grouped, so reordering would only delay the
+    store appends that make interrupted runs resumable.
     """
     if report is None:
         report = ExecutionReport()
@@ -119,7 +130,13 @@ def execute_trials(trials: Sequence[TrialSpec],
     results: List[TrialResult] = []
     abandoned = False
     try:
-        futures = [pool.submit(runner, t) for t in trials]
+        if submit_order is None:
+            futures = [pool.submit(runner, t) for t in trials]
+        else:
+            order = sorted(range(len(trials)),
+                           key=lambda i: submit_order(trials[i]))
+            by_index = {i: pool.submit(runner, trials[i]) for i in order}
+            futures = [by_index[i] for i in range(len(trials))]
         for index, (trial, future) in enumerate(zip(trials, futures)):
             try:
                 result = future.result(timeout=timeout)

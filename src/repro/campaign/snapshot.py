@@ -1,0 +1,278 @@
+"""Differential-replay trial execution: the per-worker prefix cache.
+
+Every trial of a campaign cell simulates the *same* fault-free prefix
+from cycle 0 up to its first strike — for paper-scale SER (1e-7..1e-17)
+that prefix is most (often all) of the trial. Because every simulator in
+this repository is deterministic by construction, that work can be done
+once per worker: run the fault-free prefix a single time, snapshot it at
+coarse cycle epochs (:mod:`repro.checkpoint.snapshot`), and start each
+trial from the newest epoch at or before its first injection cycle.
+
+Correctness argument, scheme-agnostic:
+
+* the prefix system is built with a **rate-zero injector** — its mere
+  presence makes construction identical to an injected run (pipelines
+  forced to ``commit_replay="always"``), while drawing *nothing* from
+  the RNG (a zero rate short-circuits before the stream is touched);
+* a trial's first strike cycle is peeked with a **throwaway** injector
+  clone, and the restored replica is re-armed with a *fresh* injector
+  through :meth:`~repro.schemes.base.ResilienceScheme.attach_injector`
+  — the same ``next_strike(0)`` call an injected construction makes, so
+  the replica's RNG stream state equals the full run's exactly;
+* strikes are processed only at cycles the system actually steps, so a
+  first strike at or past the fault-free completion cycle (or the
+  watchdog budget) can never be observed: the trial's result *is* the
+  cached fault-free result (or the cached watchdog hang) — the dominant
+  fast path of low-SER grids.
+
+Everything here is per-worker module state (the same lifetime contract
+as :data:`repro.campaign.trial.CONTEXT`); nothing crosses process
+boundaries except the :class:`~repro.campaign.spec.TrialSpec` itself.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.campaign.spec import TrialSpec
+from repro.campaign.trial import (
+    CONTEXT,
+    TrialResult,
+    build_injector,
+    finish_trial,
+    hang_result,
+)
+
+#: default cycles between prefix snapshots (doubles under ring pressure)
+DEFAULT_INTERVAL = 1024
+#: snapshot-ring slots per prefix (a full ring thins to every other)
+RING_CAPACITY = 32
+#: prefixes kept per worker before LRU eviction
+MAX_PREFIXES = 8
+
+#: cache key: one fault-free prefix per (scheme, workload, budget) — the
+#: SER axis and the fault model share it (neither can influence a run
+#: before its first strike)
+PrefixKey = Tuple[str, str, Optional[int]]
+
+
+def peek_first_strike(trial: TrialSpec) -> Optional[int]:
+    """The cycle of the trial's first strike, or ``None`` for never.
+
+    Uses a throwaway injector built exactly like the trial's own and
+    asks it the same question an injected construction asks
+    (``next_strike(0)``); the clone is then discarded so the trial's
+    real injector replays the identical RNG stream from scratch.
+    """
+    strike = build_injector(trial).next_strike(0)
+    return None if strike is None else int(strike.cycle)
+
+
+@dataclass
+class _Prefix:
+    """One cached fault-free prefix: snapshot ring + final verdict."""
+
+    program: Any
+    #: snapshot ring (the checkpoint package's bounded store, reused for
+    #: its capacity/byte accounting); payloads are ``SystemSnapshot``
+    ring: Any
+    #: fault-free ``RunResult`` (``None`` when the prefix hung)
+    result: Any
+    #: ``(message, cycles, committed)`` of the watchdog trip, if any
+    hang: Optional[Tuple[str, int, int]]
+    #: ``system.now`` when the prefix run ended — strikes at or past
+    #: this cycle are unobservable (no further cycle is ever stepped)
+    final_cycle: int
+    #: capture interval after ring-pressure doubling
+    interval: int
+
+
+class PrefixSnapshotCache:
+    """Per-worker cache of fault-free prefixes with epoch snapshots."""
+
+    def __init__(self, interval: int = DEFAULT_INTERVAL,
+                 ring_capacity: int = RING_CAPACITY,
+                 max_prefixes: int = MAX_PREFIXES) -> None:
+        if interval < 1:
+            raise ValueError("snapshot interval must be positive")
+        self.interval = interval
+        self.ring_capacity = ring_capacity
+        self.max_prefixes = max_prefixes
+        self._prefixes: "OrderedDict[PrefixKey, _Prefix]" = OrderedDict()
+        #: page-interning pools, one per workload (schemes of one
+        #: workload share most of their memory image content)
+        self._pools: "OrderedDict[str, Dict[bytes, bytes]]" = OrderedDict()
+        self._ins_index: "OrderedDict[str, Dict[int, int]]" = OrderedDict()
+
+    # -- bookkeeping --------------------------------------------------------
+    def clear(self) -> None:
+        self._prefixes.clear()
+        self._pools.clear()
+        self._ins_index.clear()
+
+    def _per_workload(self, memo: "OrderedDict[str, Any]", workload: str,
+                      build: Callable[[], Any]) -> Any:
+        value = memo.get(workload)
+        if value is None:
+            value = build()
+        memo[workload] = value
+        memo.move_to_end(workload)
+        while len(memo) > self.max_prefixes:
+            memo.popitem(last=False)
+        return value
+
+    # -- prefix construction ------------------------------------------------
+    def prefix(self, trial: TrialSpec) -> _Prefix:
+        """The (lazily built) fault-free prefix for ``trial``'s cell."""
+        key: PrefixKey = (trial.scheme, trial.workload,
+                          trial.watchdog_cycles)
+        entry = self._prefixes.get(key)
+        if entry is None:
+            entry = self._build(trial)
+            self._prefixes[key] = entry
+        self._prefixes.move_to_end(key)
+        while len(self._prefixes) > self.max_prefixes:
+            self._prefixes.popitem(last=False)
+        return entry
+
+    def _build(self, trial: TrialSpec) -> _Prefix:
+        from repro.checkpoint.snapshot import instruction_index
+        from repro.checkpoint.store import CheckpointStore
+        from repro.faults.injector import FaultInjector
+        from repro.harness.runner import MAX_CYCLES
+        from repro.redundancy.pair import SimulationHang
+        from repro.schemes import get as get_scheme
+
+        program = CONTEXT.program(trial.workload)
+        pool = self._per_workload(self._pools, trial.workload, dict)
+        ins_index = self._per_workload(
+            self._ins_index, trial.workload,
+            lambda: instruction_index(program))
+        desc = get_scheme(trial.scheme)
+        # rate zero: construction behaves injected, RNG stays untouched
+        system = desc.build_system(program, injector=FaultInjector(0.0))
+        budget = trial.watchdog_cycles if trial.watchdog_cycles is not None \
+            else MAX_CYCLES
+        ring = CheckpointStore(capacity=self.ring_capacity)
+        interval = self.interval
+
+        def capture() -> None:
+            nonlocal interval
+            if ring.full:
+                ring.thin_every_other()
+                interval *= 2
+            snap = desc.snapshot(system, pool=pool, ins_index=ins_index)
+            ring.capture_payload(seq=0, cycle=system.now, payload=snap,
+                                 delta_bytes=snap.delta_bytes)
+
+        capture()  # epoch 0: the freshly built system
+        target = interval
+        while not system.finished() and system.now < budget:
+            if system.now >= target:
+                capture()
+                target = system.now + interval
+            system.step()
+        # delegate the verdict to run(): on a finished system it returns
+        # the result immediately; at the budget it raises the exact
+        # watchdog hang a full-mode trial would see
+        result = None
+        hang = None
+        try:
+            result = system.run(budget)
+        except SimulationHang as exc:
+            hang = (str(exc), int(exc.cycles), int(exc.committed))
+        return _Prefix(program=program, ring=ring, result=result,
+                       hang=hang, final_cycle=int(system.now),
+                       interval=interval)
+
+    # -- trial execution ----------------------------------------------------
+    def run(self, trial: TrialSpec) -> TrialResult:
+        """Run one trial differentially; byte-identical to full replay."""
+        from repro.redundancy.pair import SimulationHang
+        from repro.schemes import get as get_scheme
+
+        prefix = self.prefix(trial)
+        first = peek_first_strike(trial)
+        if first is None or first >= prefix.final_cycle:
+            # the strike stream starts after the last cycle any full-mode
+            # run would step: the trial IS the cached fault-free run
+            if prefix.hang is not None:
+                message, cycles, committed = prefix.hang
+                return hang_result(trial, SimulationHang(
+                    message, cycles=cycles, committed=committed))
+            return finish_trial(trial, prefix.result)
+        checkpoint = prefix.ring.at_or_before(first)
+        desc = get_scheme(trial.scheme)
+        system = desc.restore(checkpoint.state, prefix.program,
+                              injector=build_injector(trial))
+        budget = trial.watchdog_cycles if trial.watchdog_cycles is not None \
+            else _max_cycles()
+        try:
+            res = system.run(budget)
+        except SimulationHang as exc:
+            return hang_result(trial, exc)
+        return finish_trial(trial, res)
+
+    def epoch_of(self, trial: TrialSpec) -> int:
+        """The snapshot epoch a trial would restore from (scheduling key;
+        does not build the prefix — uses the configured interval)."""
+        first = peek_first_strike(trial)
+        if first is None:
+            return -1  # fast-path trials group together, after the rest
+        return first // self.interval
+
+
+def _max_cycles() -> int:
+    from repro.harness.runner import MAX_CYCLES
+    return int(MAX_CYCLES)
+
+
+#: the worker-process-wide cache ``run_trial_differential`` pulls from
+CACHE = PrefixSnapshotCache()
+
+
+def run_trial_differential(trial: TrialSpec,
+                           snapshot_interval: Optional[int] = None
+                           ) -> TrialResult:
+    """Worker entry point for ``--exec-mode differential`` (top-level so
+    it pickles; ``snapshot_interval`` is bound with ``functools.partial``
+    by the engine and inherited by forked workers).
+    """
+    if snapshot_interval is not None and snapshot_interval != CACHE.interval:
+        CACHE.clear()
+        CACHE.interval = snapshot_interval
+    return CACHE.run(trial)
+
+
+def differential_runner(snapshot_interval: Optional[int] = None
+                        ) -> Callable[[TrialSpec], TrialResult]:
+    """The pool-submittable differential runner (picklable partial)."""
+    if snapshot_interval is None:
+        return run_trial_differential
+    return partial(run_trial_differential,
+                   snapshot_interval=snapshot_interval)
+
+
+def submission_key(snapshot_interval: Optional[int] = None
+                   ) -> Callable[[TrialSpec], Tuple[str, int, int]]:
+    """Sort key grouping a wave by (cell, snapshot epoch) for submission.
+
+    Trials restoring from the same epoch land adjacently in the pool's
+    queue, so a worker's page pool and snapshot ring stay warm across
+    consecutive trials. Pure scheduling hint: the executor still collects
+    results — and the engine still appends store records — in the wave's
+    original order, which is what keeps differential-mode stores
+    byte-identical to full-mode ones.
+    """
+    interval = snapshot_interval if snapshot_interval is not None \
+        else DEFAULT_INTERVAL
+
+    def key(trial: TrialSpec) -> Tuple[str, int, int]:
+        first = peek_first_strike(trial)
+        epoch = 2 ** 62 if first is None else first // interval
+        return (trial.cell, epoch, trial.seed)
+
+    return key

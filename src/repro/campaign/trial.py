@@ -9,7 +9,7 @@ debugging always agree.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -51,30 +51,50 @@ class _TrialContext:
     context lives at module level, so it persists for the lifetime of the
     worker process, and programs are immutable (``Instruction`` is frozen)
     so sharing one instance across trials is safe.
+
+    Both memos are LRU-bounded (``cap`` workloads each): a long
+    multi-workload grid recycles the same worker processes for every
+    cell, and unbounded memos grow worker RSS with every workload the
+    grid visits. Recency order is maintained on every hit, so the grid's
+    active workloads stay resident.
     """
 
-    __slots__ = ("programs", "goldens")
+    __slots__ = ("programs", "goldens", "cap")
 
-    def __init__(self) -> None:
-        self.programs: Dict[str, object] = {}
-        self.goldens: Dict[str, object] = {}
+    #: workloads kept per memo unless a context overrides it
+    DEFAULT_CAP = 8
+
+    def __init__(self, cap: Optional[int] = None) -> None:
+        if cap is not None and cap < 1:
+            raise ValueError("memo cap must be at least 1")
+        self.cap = cap if cap is not None else self.DEFAULT_CAP
+        self.programs: "OrderedDict[str, object]" = OrderedDict()
+        self.goldens: "OrderedDict[str, object]" = OrderedDict()
+
+    def _touch(self, memo: "OrderedDict[str, object]", workload: str,
+               value: object) -> object:
+        memo[workload] = value
+        memo.move_to_end(workload)
+        while len(memo) > self.cap:
+            memo.popitem(last=False)
+        return value
 
     def program(self, workload: str):
         """The assembled :class:`~repro.isa.program.Program` (memoized)."""
         prog = self.programs.get(workload)
         if prog is None:
             from repro.workloads import load_workload
-            prog = self.programs[workload] = load_workload(workload)
-        return prog
+            prog = load_workload(workload)
+        return self._touch(self.programs, workload, prog)
 
     def golden(self, workload: str):
         """The fault-free golden run of ``workload`` (memoized)."""
         res = self.goldens.get(workload)
         if res is None:
             from repro.isa import golden
-            res = self.goldens[workload] = golden.run(
-                self.program(workload), max_instructions=2_000_000)
-        return res
+            res = golden.run(self.program(workload),
+                             max_instructions=2_000_000)
+        return self._touch(self.goldens, workload, res)
 
     def clear(self) -> None:
         self.programs.clear()
@@ -242,24 +262,17 @@ def crash_result(trial: TrialSpec, cause: str) -> TrialResult:
                        error=cause[-2000:])
 
 
-def run_trial(trial: TrialSpec) -> TrialResult:
-    """Worker entry point: run one seeded injection trial.
+def finish_trial(trial: TrialSpec, res) -> TrialResult:
+    """Adjudicate a finished run into a :class:`TrialResult`.
 
-    Imports stay inside the function so a forked/spawned worker only
-    pays for what it uses (the same convention as
-    ``repro.harness.parallel._run_one``).
+    Pure function of the :class:`~repro.redundancy.stats.RunResult` —
+    shared verbatim between the full-replay path below and the
+    differential-replay path (:mod:`repro.campaign.snapshot`), which is
+    what makes "both modes produce byte-identical records" a property of
+    the simulation, not of two parallel adjudication implementations.
     """
-    from repro.harness.runner import run_scheme
-    from repro.redundancy.pair import SimulationHang
     from repro.schemes import get as get_scheme
 
-    program = CONTEXT.program(trial.workload)
-    injector = build_injector(trial)
-    try:
-        res = run_scheme(trial.scheme, program, injector=injector,
-                         max_cycles=trial.watchdog_cycles)
-    except SimulationHang as exc:
-        return hang_result(trial, exc)
     outcomes = Counter(e.outcome.value for e in res.fault_events
                        if e.outcome is not None)
     # Each scheme declares which `extra` keys charge recovery/rollback
@@ -273,3 +286,23 @@ def run_trial(trial: TrialSpec) -> TrialResult:
                        outcomes=dict(outcomes), recovery_cycles=recovery,
                        metrics=trial_metrics(res.metrics),
                        outcome=classify_trial(dict(outcomes)))
+
+
+def run_trial(trial: TrialSpec) -> TrialResult:
+    """Worker entry point: run one seeded injection trial.
+
+    Imports stay inside the function so a forked/spawned worker only
+    pays for what it uses (the same convention as
+    ``repro.harness.parallel._run_one``).
+    """
+    from repro.harness.runner import run_scheme
+    from repro.redundancy.pair import SimulationHang
+
+    program = CONTEXT.program(trial.workload)
+    injector = build_injector(trial)
+    try:
+        res = run_scheme(trial.scheme, program, injector=injector,
+                         max_cycles=trial.watchdog_cycles)
+    except SimulationHang as exc:
+        return hang_result(trial, exc)
+    return finish_trial(trial, res)

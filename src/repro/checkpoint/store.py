@@ -9,27 +9,26 @@ checkpoint (incremental checkpointing, the charitable implementation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional
 
 from repro.isa.golden import ArchState
 
 
-def _copy_state(state: ArchState) -> ArchState:
-    new = ArchState()
-    new.regs = list(state.regs)
-    new.mem = state.mem.copy()
-    new.pc = state.pc
-    return new
-
-
 @dataclass
 class Checkpoint:
-    """One captured machine state."""
+    """One captured machine state.
+
+    ``state`` is an :class:`ArchState` for the architectural checkpoints
+    the comparator scheme rolls back to, or any opaque snapshot payload
+    captured through :meth:`CheckpointStore.capture_payload` (the
+    campaign's differential-replay prefix cache stores whole-system
+    snapshots here).
+    """
 
     seq: int                  # committed-instruction watermark
     cycle: int                # capture time
-    state: ArchState
+    state: Any
     #: bytes that had to be saved (delta vs previous checkpoint)
     delta_bytes: int
 
@@ -79,11 +78,29 @@ class CheckpointStore:
         delta = sum(1 for addr, val in state.mem.items()
                     if prev_mem.get(addr) != val)
         delta += sum(1 for addr in prev_mem if addr not in state.mem)
-        cp = Checkpoint(seq=seq, cycle=cycle, state=_copy_state(state),
+        cp = Checkpoint(seq=seq, cycle=cycle, state=state.clone(),
                         delta_bytes=self.REG_BYTES + delta)
         self._stack.append(cp)
         self.captures += 1
         self.bytes_captured += cp.delta_bytes
+        return cp
+
+    def capture_payload(self, seq: int, cycle: int, payload: Any,
+                        delta_bytes: int) -> Checkpoint:
+        """Store an opaque snapshot payload under the same capacity and
+        cost accounting as :meth:`capture`.
+
+        The caller supplies ``delta_bytes`` because only it knows the
+        payload's incremental footprint (the differential-replay cache
+        charges the bytes its page pool actually grew by).
+        """
+        if self.full:
+            raise RuntimeError("capture into full checkpoint store")
+        cp = Checkpoint(seq=seq, cycle=cycle, state=payload,
+                        delta_bytes=delta_bytes)
+        self._stack.append(cp)
+        self.captures += 1
+        self.bytes_captured += delta_bytes
         return cp
 
     def newest(self) -> Optional[Checkpoint]:
@@ -97,3 +114,27 @@ class CheckpointStore:
     def rollback_target(self) -> Optional[Checkpoint]:
         """The newest *verified* checkpoint is always the stack base."""
         return self._stack[0] if self._stack else None
+
+    def at_or_before(self, cycle: int) -> Optional[Checkpoint]:
+        """The newest checkpoint captured at or before ``cycle``.
+
+        The differential-replay lookup: entries are appended in cycle
+        order, so this is a reverse scan for the first cycle <= bound.
+        """
+        for cp in reversed(self._stack):
+            if cp.cycle <= cycle:
+                return cp
+        return None
+
+    def thin_every_other(self) -> int:
+        """Drop every other checkpoint (odd positions), oldest kept.
+
+        Ring-pressure relief for open-ended capture streams: when the
+        store fills mid-run, the prefix cache halves its resolution and
+        doubles its capture interval instead of stalling — coverage of
+        the whole run matters more than density. Returns the drop count.
+        """
+        kept = self._stack[::2]
+        dropped = len(self._stack) - len(kept)
+        self._stack = kept
+        return dropped

@@ -514,7 +514,9 @@ def _cmd_campaign_run(args) -> int:
                             watchdog_cycles=args.watchdog_cycles)
         summary = run_campaign(
             spec, args.store, workers=args.workers, timeout=args.timeout,
-            ticker_enabled=True if args.progress else None)
+            ticker_enabled=True if args.progress else None,
+            exec_mode=args.exec_mode,
+            snapshot_interval=args.snapshot_interval)
     except CampaignError as exc:
         raise SystemExit(f"error: {exc}")
     return _emit_campaign_summary(summary, args.json)
@@ -529,7 +531,9 @@ def _cmd_campaign_resume(args) -> int:
         spec = store.load_spec()
         summary = run_campaign(
             spec, args.store, workers=args.workers, timeout=args.timeout,
-            ticker_enabled=True if args.progress else None)
+            ticker_enabled=True if args.progress else None,
+            exec_mode=args.exec_mode,
+            snapshot_interval=args.snapshot_interval)
     except CampaignError as exc:
         raise SystemExit(f"error: {exc}")
     return _emit_campaign_summary(summary, args.json)
@@ -657,6 +661,19 @@ def build_parser() -> argparse.ArgumentParser:
         cp.add_argument("--progress", action="store_true",
                         help="force the live stderr ticker (default: only "
                              "on a TTY)")
+        from repro.campaign.engine import EXEC_MODES
+        cp.add_argument("--exec-mode", default="differential",
+                        choices=list(EXEC_MODES),
+                        help="'differential' fast-forwards each trial from "
+                             "a cached fault-free prefix snapshot; 'full' "
+                             "re-simulates from cycle 0. Byte-identical "
+                             "stores either way — this only trades "
+                             "wall-clock")
+        cp.add_argument("--snapshot-interval", type=int, default=None,
+                        metavar="CYCLES",
+                        help="cycles between prefix snapshots "
+                             "(differential mode; default 1024, doubling "
+                             "under ring pressure)")
 
     cp = csub.add_parser("run", help="start a campaign (resumes if the "
                                      "store already holds the same spec)")

@@ -665,15 +665,15 @@ class Pipeline:
         # restart the oracle from the committed point; sequence numbers
         # restart there too (commit is in-order, so the next instruction's
         # seq equals the committed count), keeping replays seq-identical.
-        self.oracle = _copy_state(self.committed_state)
+        self.oracle = self.committed_state.clone()
         self._next_seq = self.stats.committed
         return n
 
     def adopt_state(self, other: "Pipeline") -> None:
         """Copy the architectural state of ``other``'s committed point onto
         this core (recovery step 3); the caller charges the cycle cost."""
-        self.committed_state = _copy_state(other.committed_state)
-        self.oracle = _copy_state(other.committed_state)
+        self.committed_state = other.committed_state.clone()
+        self.oracle = other.committed_state.clone()
         self.stats.committed = other.stats.committed
         # commit is in-order, so the next instruction at the adopted point
         # carries seq == committed count — keeping the two cores' store
@@ -686,8 +686,8 @@ class Pipeline:
         (checkpoint rollback — unlike :meth:`adopt_state`, this may move
         backwards past work this core already retired)."""
         self.flush_pipeline()
-        self.committed_state = _copy_state(state)
-        self.oracle = _copy_state(state)
+        self.committed_state = state.clone()
+        self.oracle = state.clone()
         self.stats.committed = committed
         self._next_seq = committed
         self.done = False
@@ -697,10 +697,3 @@ class Pipeline:
         """The committed architectural state (recovery source/target)."""
         return self.committed_state
 
-
-def _copy_state(state: ArchState) -> ArchState:
-    new = ArchState()
-    new.regs = list(state.regs)
-    new.mem = state.mem.copy()
-    new.pc = state.pc
-    return new

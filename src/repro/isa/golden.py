@@ -75,6 +75,19 @@ class ArchState:
         """
         return (tuple(self.regs), self.mem.snapshot_items(), self.pc)
 
+    def clone(self) -> "ArchState":
+        """An independent deep copy (registers, memory image, PC).
+
+        The single capture primitive shared by the pipeline's
+        flush/rollback paths and the checkpoint store — one definition of
+        "copy the architectural state" instead of one per consumer.
+        """
+        new = ArchState.__new__(ArchState)
+        new.regs = list(self.regs)
+        new.mem = self.mem.copy()
+        new.pc = self.pc
+        return new
+
 
 @dataclass(slots=True)
 class StepInfo:

@@ -136,6 +136,44 @@ class PagedMemory:
         return tuple(self.items())
 
 
+class CowPagedMemory(PagedMemory):
+    """A :class:`PagedMemory` whose pages may be *shared immutable*
+    ``bytes`` until first written (copy-on-write).
+
+    Snapshot restores hand every restored memory the same interned
+    ``bytes`` page objects, so N restores from one snapshot cost N page
+    *tables*, not N memory images. All read paths work unchanged on
+    ``bytes`` (slicing and indexing behave identically); the write paths
+    below privatise a shared page into a ``bytearray`` on first touch.
+    Equality, ``items()`` and ``copy()`` are representation-independent
+    already (``bytearray(...) == bytes(...)`` compares content).
+    """
+
+    __slots__ = ()
+
+    def _own_page(self, pno: int) -> bytearray:
+        page = self._pages.get(pno)
+        if type(page) is not bytearray:
+            page = self._pages[pno] = (
+                bytearray(PAGE_SIZE) if page is None else bytearray(page))
+        return page
+
+    def write(self, addr: int, value: int, width: int) -> None:
+        addr &= _ADDR_MASK
+        value &= (1 << (8 * width)) - 1
+        off = addr & PAGE_MASK
+        if off + width <= PAGE_SIZE:
+            page = self._own_page(addr >> PAGE_SHIFT)
+            page[off:off + width] = value.to_bytes(width, "little")
+            return
+        for i in range(width):
+            self.write_byte(addr + i, (value >> (8 * i)) & 0xFF)
+
+    def write_byte(self, addr: int, value: int) -> None:
+        addr &= _ADDR_MASK
+        self._own_page(addr >> PAGE_SHIFT)[addr & PAGE_MASK] = value & 0xFF
+
+
 class DictMemory:
     """Reference backend: one dict entry per touched byte (the seed
     implementation), with the same normalised protocol on top."""

@@ -242,6 +242,12 @@ class BaselineSystem:
                                  gate=_WriteBufferGate(self), name="core0")
         self.now = 0
 
+    def finished(self) -> bool:
+        """Uniform completion probe (the pair systems' spelling), so
+        system-agnostic drivers — the differential-replay prefix runner —
+        can step any scheme without special-casing the baseline."""
+        return self.pipeline.done
+
     def step(self) -> None:
         # drain the write buffer whenever the bus is idle
         while len(self.wbuf):

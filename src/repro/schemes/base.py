@@ -89,6 +89,52 @@ class ResilienceScheme:
         may strike (:class:`~repro.faults.injector.Block` tuple)."""
         return ()
 
+    # -- snapshot/restore (differential replay) -----------------------------
+    def snapshot(self, system, pool=None, ins_index=None):
+        """Freeze a built system into a restorable
+        :class:`~repro.checkpoint.snapshot.SystemSnapshot`.
+
+        The default serializes the whole system object graph (see
+        :mod:`repro.checkpoint.snapshot`); a scheme holding state that
+        must not — or cannot — be pickled overrides this hook. Raises
+        :class:`~repro.checkpoint.snapshot.SnapshotUnsupported` when the
+        system cannot participate (callers fall back to full replay).
+        """
+        from repro.checkpoint.snapshot import capture_system
+        return capture_system(system, system.program, pool=pool,
+                              ins_index=ins_index)
+
+    def restore(self, snapshot, program, injector=None):
+        """Thaw an independent replica; optionally arm a live injector.
+
+        ``program`` must be the program object the capture was bound to.
+        With ``injector`` the replica is re-armed exactly as
+        :meth:`build_system` would have armed it at cycle 0, so a
+        restored-then-injected run is cycle-identical to a full injected
+        run whose first strike lands at or after the snapshot epoch.
+        """
+        from repro.checkpoint.snapshot import restore_system
+        system = restore_system(snapshot, program)
+        if injector is not None:
+            self.attach_injector(system, injector)
+        return system
+
+    def attach_injector(self, system, injector) -> None:
+        """Re-arm a restored system with a fresh injector.
+
+        Mirrors the schemes' construction-time arming: the injector is
+        installed, its inventory adopted where the scheme keeps one, and
+        the first strike drawn with ``now=0`` — the same RNG call
+        sequence as an injected ``build_system``, which is what keeps a
+        fast-forwarded trial's strike stream byte-identical to full
+        replay. (Pipelines already run ``commit_replay="always"`` because
+        the fault-free prefix is built with a rate-zero injector.)
+        """
+        system.injector = injector
+        if hasattr(system, "inventory"):
+            system.inventory = injector.inventory
+        system._arm_next_strike(0)
+
     # -- accounting ---------------------------------------------------------
     def recovery_cycles(self, extra: Dict[str, float]) -> int:
         """Cycles a finished run spent recovering, from its ``extra``."""

@@ -29,6 +29,11 @@ class BaselineScheme(ResilienceScheme):
         from repro.redundancy.pair import BaselineSystem
         return BaselineSystem(program, config=config, **kwargs)
 
+    def attach_injector(self, system, injector) -> None:
+        raise ValueError(
+            "the unprotected baseline takes no fault injection "
+            "(snapshot/restore works; injector re-arming does not)")
+
     def system_cost(self, tech=None):
         from repro.hwcost.redundancy_cost import unprotected_cost
         from repro.hwcost.tech import TECH_65NM

@@ -14,7 +14,7 @@ from repro.harness.bench import (
 def test_scenario_registry():
     assert set(SCENARIOS) == {"golden", "baseline-core", "unsync-pair",
                               "reunion-pair", "telemetry-pair",
-                              "campaign-smoke"}
+                              "campaign-smoke", "campaign-differential"}
     assert REFERENCE_SCENARIO in SCENARIOS
 
 

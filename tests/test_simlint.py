@@ -226,6 +226,48 @@ class TestDictMutatedDuringIteration:
         """) == []
 
 
+class TestDeepcopyOnHotState:
+    SNIPPET = """
+        import copy
+
+        def snap(system):
+            return copy.deepcopy(system)
+    """
+
+    def test_deepcopy_flagged_in_campaign(self):
+        assert "SIM106" in codes(
+            self.SNIPPET, path="src/repro/campaign/mod.py",
+            config=LintConfig(root=REPO_ROOT))
+
+    def test_deepcopy_flagged_in_checkpoint(self):
+        assert "SIM106" in codes(
+            self.SNIPPET, path="src/repro/checkpoint/mod.py",
+            config=LintConfig(root=REPO_ROOT))
+
+    def test_aliased_from_import_flagged(self):
+        assert "SIM106" in codes("""
+            from copy import deepcopy as dc
+
+            def snap(system):
+                return dc(system)
+        """, path="src/repro/campaign/mod.py",
+            config=LintConfig(root=REPO_ROOT))
+
+    def test_rule_scoped_to_copy_packages(self):
+        # one-shot tooling outside campaign/checkpoint may still deepcopy
+        assert codes(self.SNIPPET, path="src/repro/harness/mod.py",
+                     config=LintConfig(root=REPO_ROOT)) == []
+
+    def test_shallow_copy_ok(self):
+        assert codes("""
+            import copy
+
+            def snap(regs):
+                return copy.copy(regs)
+        """, path="src/repro/campaign/mod.py",
+            config=LintConfig(root=REPO_ROOT)) == []
+
+
 # ---------------------------------------------------------------------------
 # SIM2xx hot path
 # ---------------------------------------------------------------------------

@@ -1,0 +1,326 @@
+"""Differential-replay execution: snapshot/restore + mode equivalence.
+
+The contract under test, end to end: ``--exec-mode differential`` may
+never change a single byte of a campaign store. That decomposes into
+
+* scheme-agnostic snapshot/restore — a restored replica's continued
+  execution is bit-identical to the original's (registers, memory,
+  cycles, metrics), for every registered scheme;
+* differential trial == full trial for arbitrary (scheme, workload,
+  seed, SER, fault model) — the hypothesis property;
+* the prefix ring / checkpoint-store plumbing and the copy-on-write
+  page sharing the fast path rides on;
+* the executor's ``submit_order`` hint being order-neutral for results;
+* whole campaigns: serial/parallel x full/differential, one JSONL.
+"""
+
+import filecmp
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.engine import run_campaign
+from repro.campaign.executor import execute_trials
+from repro.campaign.snapshot import (
+    CACHE,
+    PrefixSnapshotCache,
+    peek_first_strike,
+    run_trial_differential,
+    submission_key,
+)
+from repro.campaign.spec import CampaignError, CampaignSpec, TrialSpec
+from repro.campaign.store import ResultStore
+from repro.campaign.trial import _TrialContext, run_trial
+from repro.checkpoint.snapshot import (
+    capture_system,
+    instruction_index,
+    restore_system,
+)
+from repro.checkpoint.store import CheckpointStore
+from repro.faults.injector import FaultInjector
+from repro.isa.memory import PAGE_SIZE, CowPagedMemory, PagedMemory
+from repro.schemes import get as get_scheme
+from repro.schemes import protected_schemes
+from repro.workloads import load_workload
+
+SCHEMES = protected_schemes()
+
+
+def _final_state(res):
+    return (res.cycles, res.instructions, res.state.regs,
+            sorted(res.state.mem.items()), res.extra, res.metrics)
+
+
+# ---------------------------------------------------------------------------
+# snapshot/restore round-trip (all registered schemes, baseline included)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", list(SCHEMES) + ["baseline"])
+def test_roundtrip_restored_replica_runs_identically(scheme):
+    program = load_workload("checksum")
+    desc = get_scheme(scheme)
+    kwargs = {}
+    if scheme != "baseline":
+        kwargs["injector"] = FaultInjector(0.0)
+    original = desc.build_system(program, **kwargs)
+    for _ in range(400):
+        original.step()
+    snap = desc.snapshot(original)
+    replica = restore_system(snap, program)
+    assert replica.now == original.now
+    assert _final_state(replica.run()) == _final_state(original.run())
+
+
+def test_snapshot_shares_pages_through_the_pool():
+    program = load_workload("checksum")
+    system = get_scheme("unsync").build_system(
+        program, injector=FaultInjector(0.0))
+    pool = {}
+    index = instruction_index(program)
+    first = capture_system(system, program, pool=pool, ins_index=index)
+    grew_to = sum(len(p) for p in pool.values())
+    assert first.delta_bytes > grew_to  # payload + newly pooled pages
+    again = capture_system(system, program, pool=pool, ins_index=index)
+    # an unchanged memory image interns into the same pooled pages: the
+    # second capture pays for its pickle payload only
+    assert sum(len(p) for p in pool.values()) == grew_to
+    assert again.delta_bytes == len(again.payload)
+
+
+def test_baseline_scheme_refuses_injector_attach():
+    program = load_workload("fibonacci")
+    desc = get_scheme("baseline")
+    system = desc.build_system(program)
+    with pytest.raises(ValueError, match="baseline"):
+        desc.attach_injector(system, FaultInjector(0.01, seed=1))
+
+
+# ---------------------------------------------------------------------------
+# the hypothesis property: differential == full, bit for bit
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scheme=st.sampled_from(SCHEMES),
+       workload=st.sampled_from(["fibonacci", "checksum"]),
+       seed=st.integers(min_value=0, max_value=2 ** 20),
+       ser=st.sampled_from([0.02, 0.005, 1e-4, 1e-6, 1e-9]),
+       fault_model=st.sampled_from(["standard", "adversarial"]))
+def test_differential_trial_equals_full_trial(scheme, workload, seed, ser,
+                                              fault_model):
+    trial = TrialSpec(scheme=scheme, workload=workload, ser=ser,
+                      seed=seed, fault_model=fault_model)
+    full = run_trial(trial)
+    differential = run_trial_differential(trial)
+    assert differential.to_record() == full.to_record()
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scheme=st.sampled_from(SCHEMES),
+       seed=st.integers(min_value=0, max_value=2 ** 20),
+       interval=st.sampled_from([64, 256, 1024]))
+def test_restore_epoch_choice_cannot_change_the_result(scheme, seed,
+                                                       interval):
+    # mid-run strike rate, so restores actually happen at several epochs
+    trial = TrialSpec(scheme=scheme, workload="checksum", ser=5e-4,
+                      seed=seed)
+    full = run_trial(trial)
+    cache = PrefixSnapshotCache(interval=interval)
+    assert cache.run(trial).to_record() == full.to_record()
+
+
+def test_zero_strike_fast_path_serves_the_cached_prefix():
+    trial = TrialSpec(scheme="unsync", workload="fibonacci", ser=1e-12,
+                      seed=0)
+    assert peek_first_strike(trial) is not None  # far-future, not never
+    cache = PrefixSnapshotCache()
+    first = cache.run(trial)
+    prefix = cache.prefix(trial)
+    assert first.cycles == prefix.result.cycles
+    assert first.to_record() == run_trial(trial).to_record()
+
+
+def test_watchdog_hang_survives_the_fast_path():
+    trial = TrialSpec(scheme="unsync", workload="checksum", ser=1e-12,
+                      seed=3, watchdog_cycles=50)
+    differential = PrefixSnapshotCache().run(trial)
+    full = run_trial(trial)
+    assert full.outcome == "hang"
+    assert differential.to_record() == full.to_record()
+
+
+# ---------------------------------------------------------------------------
+# checkpoint-store plumbing the prefix ring reuses
+# ---------------------------------------------------------------------------
+def test_capture_payload_accounts_like_capture():
+    store = CheckpointStore(capacity=2)
+    store.capture_payload(seq=0, cycle=0, payload=b"abc", delta_bytes=3)
+    store.capture_payload(seq=1, cycle=10, payload=b"defg", delta_bytes=4)
+    assert store.captures == 2
+    assert store.bytes_captured == 7
+    assert store.full
+    with pytest.raises(RuntimeError):
+        store.capture_payload(seq=2, cycle=20, payload=b"x", delta_bytes=1)
+
+
+def test_at_or_before_picks_the_newest_covering_checkpoint():
+    store = CheckpointStore(capacity=8)
+    for i, cycle in enumerate([0, 100, 200, 300]):
+        store.capture_payload(seq=i, cycle=cycle, payload=cycle,
+                              delta_bytes=0)
+    assert store.at_or_before(250).cycle == 200
+    assert store.at_or_before(300).cycle == 300
+    assert store.at_or_before(10 ** 9).cycle == 300
+    assert store.at_or_before(0).cycle == 0
+    assert CheckpointStore().at_or_before(5) is None
+
+
+def test_thin_every_other_halves_and_keeps_the_oldest():
+    store = CheckpointStore(capacity=6)
+    for i in range(6):
+        store.capture_payload(seq=i, cycle=10 * i, payload=i, delta_bytes=0)
+    assert store.thin_every_other() == 3
+    assert [cp.cycle for cp in store._stack] == [0, 20, 40]
+    assert not store.full  # room again: the ring keeps absorbing
+
+
+def test_prefix_ring_pressure_doubles_the_interval():
+    trial = TrialSpec(scheme="unsync", workload="checksum", ser=1e-12,
+                      seed=0)
+    cache = PrefixSnapshotCache(interval=8, ring_capacity=4)
+    prefix = cache.prefix(trial)
+    assert prefix.interval > 8  # the run is far longer than 4 epochs of 8
+    assert len(prefix.ring) <= 4
+    # thinned or not, the ring still serves any strike cycle
+    assert prefix.ring.at_or_before(prefix.final_cycle) is not None
+
+
+# ---------------------------------------------------------------------------
+# copy-on-write paged memory
+# ---------------------------------------------------------------------------
+def test_cow_memory_privatizes_on_first_write():
+    base = PagedMemory()
+    base.write(10, 0xAABBCCDD, 4)
+    shared = {pno: bytes(page) for pno, page in base._pages.items()}
+    cow = CowPagedMemory(dict(shared))
+    assert cow.read(10, 4) == 0xAABBCCDD
+    cow.write(10, 0x11223344, 4)
+    assert cow.read(10, 4) == 0x11223344
+    # the shared page object is untouched; only the COW copy changed
+    assert shared[10 // PAGE_SIZE][10 % PAGE_SIZE] == 0xDD
+    assert isinstance(cow._pages[10 // PAGE_SIZE], bytearray)
+
+
+def test_cow_memory_write_byte_and_fresh_pages():
+    cow = CowPagedMemory({})
+    cow.write_byte(PAGE_SIZE + 3, 0x7F)
+    assert cow.read_byte(PAGE_SIZE + 3) == 0x7F
+    assert cow.read_byte(0) == 0
+
+
+def test_cow_memory_equals_plain_memory():
+    plain = PagedMemory()
+    for addr in (0, 5, PAGE_SIZE - 1, PAGE_SIZE, 3 * PAGE_SIZE + 7):
+        plain.write(addr, addr & 0xFF, 1)
+    cow = CowPagedMemory({pno: bytes(p)
+                          for pno, p in plain._pages.items()})
+    assert cow == plain
+    cow.write(5, 0xEE, 1)
+    assert cow != plain
+
+
+# ---------------------------------------------------------------------------
+# worker-local memo bounds
+# ---------------------------------------------------------------------------
+def test_trial_context_memos_are_lru_bounded():
+    ctx = _TrialContext(cap=2)
+    ctx.program("fibonacci")
+    ctx.program("checksum")
+    ctx.program("fibonacci")  # refresh: fibonacci is now most recent
+    ctx.program("gzip")
+    assert list(ctx.programs) == ["fibonacci", "gzip"]  # checksum evicted
+    golden_fib = ctx.golden("fibonacci")
+    ctx.golden("gzip")
+    ctx.golden("checksum")
+    assert list(ctx.goldens) == ["gzip", "checksum"]
+    # a re-request after eviction recomputes equal results
+    assert ctx.golden("fibonacci").state.regs == golden_fib.state.regs
+    with pytest.raises(ValueError):
+        _TrialContext(cap=0)
+
+
+def test_prefix_cache_is_lru_bounded():
+    cache = PrefixSnapshotCache(max_prefixes=2)
+    for scheme in ("unsync", "reunion", "reptfd"):
+        cache.prefix(TrialSpec(scheme=scheme, workload="fibonacci",
+                               ser=1e-6, seed=0))
+    assert len(cache._prefixes) == 2
+    assert [k[0] for k in cache._prefixes] == ["reunion", "reptfd"]
+
+
+# ---------------------------------------------------------------------------
+# executor ordering + whole-campaign byte identity
+# ---------------------------------------------------------------------------
+def test_submit_order_cannot_reorder_results():
+    trials = [TrialSpec(scheme="unsync", workload="fibonacci", ser=0.005,
+                        seed=s) for s in range(6)]
+    plain = execute_trials(trials, workers=2)
+    reordered = execute_trials(trials, workers=2,
+                               submit_order=lambda t: -t.seed)
+    assert [r.to_record() for r in reordered] == \
+           [r.to_record() for r in plain]
+    # the differential scheduling key is a pure function of the spec
+    key = submission_key()
+    assert [key(t) for t in trials] == [key(t) for t in trials]
+    assert len({key(t)[0] for t in trials}) == 1  # one cell, one group
+
+
+def test_exec_mode_is_validated(tmp_path):
+    spec = CampaignSpec(schemes=("unsync",), workloads=("fibonacci",),
+                        sers=(0.01,), trials=2, batch=2)
+    with pytest.raises(CampaignError, match="exec_mode"):
+        run_campaign(spec, tmp_path / "s.jsonl", exec_mode="turbo")
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_campaign_store_byte_identical_across_modes(tmp_path, workers):
+    spec = CampaignSpec(schemes=("unsync", "reptfd"),
+                        workloads=("fibonacci",), sers=(0.005, 1e-6),
+                        trials=4, batch=2)
+    full = tmp_path / "full.jsonl"
+    diff = tmp_path / "diff.jsonl"
+    s_full = run_campaign(spec, full, workers=workers, exec_mode="full")
+    s_diff = run_campaign(spec, diff, workers=workers,
+                          exec_mode="differential")
+    assert filecmp.cmp(full, diff, shallow=False)
+    assert s_full.stats_dict() == s_diff.stats_dict()
+
+
+def test_store_begun_full_resumes_differential(tmp_path):
+    spec = CampaignSpec(schemes=("unsync",), workloads=("fibonacci",),
+                        sers=(0.005,), trials=6, batch=3)
+    ref = tmp_path / "ref.jsonl"
+    mixed = tmp_path / "mixed.jsonl"
+    run_campaign(spec, ref, workers=1, exec_mode="full")
+    # simulate an interrupted full-mode run: store holds one batch only
+    partial = ResultStore(mixed)
+    partial.create(spec)
+    first_batch = spec.batches(*spec.cells()[0])[0]
+    for trial in first_batch:
+        partial.append_trial(run_trial(trial).to_record())
+    # ...then resume the remainder differentially
+    run_campaign(spec, mixed, workers=1, exec_mode="differential")
+    assert filecmp.cmp(ref, mixed, shallow=False)
+
+
+def test_module_cache_reconfigures_on_interval_change():
+    trial = TrialSpec(scheme="unsync", workload="fibonacci", ser=1e-6,
+                      seed=0)
+    baseline = run_trial(trial)
+    assert run_trial_differential(trial).to_record() == \
+        baseline.to_record()
+    assert run_trial_differential(
+        trial, snapshot_interval=256).to_record() == baseline.to_record()
+    assert CACHE.interval == 256
+    CACHE.clear()
+    CACHE.interval = 1024
