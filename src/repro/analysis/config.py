@@ -47,9 +47,15 @@ COPY_PACKAGES: Tuple[str, ...] = (
     "src/repro/checkpoint/",
 )
 
+#: the asyncio-based packages the SIM107 event-loop rule polices
+ASYNC_PACKAGES: Tuple[str, ...] = (
+    "src/repro/service/",
+)
+
 DEFAULT_RULE_PATHS: Dict[str, Tuple[str, ...]] = {
     "SIM201": HOT_PACKAGES,
     "SIM106": COPY_PACKAGES,
+    "SIM107": ASYNC_PACKAGES,
 }
 
 

@@ -3,7 +3,8 @@
 Families:
 
 * **SIM1xx determinism** — wall-clock reads, unseeded RNGs, unordered
-  set iteration, ``id()`` keys, dict-mutation-during-view-iteration.
+  set iteration, ``id()`` keys, dict-mutation-during-view-iteration,
+  blocking calls inside ``async def`` (event-loop stalls).
 * **SIM2xx hot path** — ``__slots__`` on per-cycle records, no eager
   string formatting / logging inside ``step``/``tick`` loops.
 * **SIM3xx multiprocessing hygiene** — executor callables must be
@@ -17,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.analysis.framework import Rule
+from repro.analysis.rules.asyncblocking import BlockingCallInAsync
 from repro.analysis.rules.determinism import (
     DeepcopyOnHotState,
     DictMutatedDuringIteration,
@@ -40,6 +42,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     IdAsKey(),
     DictMutatedDuringIteration(),
     DeepcopyOnHotState(),
+    BlockingCallInAsync(),
     SlotsOnHotRecords(),
     FormatInStepLoop(),
     NonModuleLevelWorker(),

@@ -1,0 +1,146 @@
+"""SIM107 — no blocking calls inside ``async def`` bodies.
+
+The campaign service multiplexes every HTTP handler, the SSE stream and
+the job admission loop on one event loop. A single synchronous sleep,
+subprocess wait, or unbounded ``queue.get`` inside a coroutine stalls
+*all* of them at once — jobs stop being admitted, the dashboard
+freezes, and health checks time out. Engine work belongs behind
+``asyncio.to_thread``; waits belong to ``await asyncio.sleep`` /
+``loop.run_in_executor``.
+
+Scoped by default to ``src/repro/service/`` (the only asyncio package),
+via :data:`repro.analysis.config.DEFAULT_RULE_PATHS`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileContext, Rule
+
+#: dotted names that block the calling thread outright
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "os.system",
+    "os.wait",
+    "os.waitpid",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+})
+
+#: receiver-method pairs that block unless given a timeout
+_BLOCKING_METHODS = frozenset({"get", "join", "acquire", "wait"})
+
+#: constructors whose instances carry the blocking methods above
+_BLOCKING_TYPES = frozenset({
+    "queue.Queue", "queue.LifoQueue", "queue.PriorityQueue",
+    "queue.SimpleQueue", "multiprocessing.Queue",
+    "threading.Lock", "threading.RLock", "threading.Event",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "threading.Condition", "threading.Thread",
+})
+
+
+def _blocking_receivers(ctx: FileContext) -> "set[str]":
+    """Names bound to blocking primitives anywhere in the file."""
+    names: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and ctx.resolve(node.value.func) in _BLOCKING_TYPES):
+            continue
+        for target in node.targets:
+            resolved = ctx.resolve(target)
+            if resolved is not None:
+                names.add(resolved.lower())
+    return names
+
+
+def _async_owned_nodes(fn: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Nodes executed *by* the coroutine itself.
+
+    Nested function definitions are skipped — their bodies run in
+    whatever context eventually calls them (often a worker thread via
+    ``asyncio.to_thread``), so they are not the event loop's problem.
+    """
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    return any(kw.arg == "timeout" for kw in call.keywords)
+
+
+def _nonblocking_flag(call: ast.Call) -> bool:
+    """True for ``q.get(False)`` / ``q.get(block=False)`` style calls."""
+    if call.args and isinstance(call.args[0], ast.Constant) \
+            and call.args[0].value is False:
+        return True
+    return any(kw.arg == "block"
+               and isinstance(kw.value, ast.Constant)
+               and kw.value.value is False for kw in call.keywords)
+
+
+class BlockingCallInAsync(Rule):
+    """SIM107: coroutine bodies must not block the event loop."""
+
+    code: ClassVar[str] = "SIM107"
+    summary: ClassVar[str] = (
+        "blocking call inside async def — stalls every coroutine on "
+        "the loop (use await asyncio.sleep / asyncio.to_thread)")
+    example: ClassVar[str] = "async def push(): time.sleep(1.0)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        receivers = _blocking_receivers(ctx)
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            for node in _async_owned_nodes(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                finding = self._check_call(ctx, fn, node, receivers)
+                if finding is not None:
+                    yield finding
+
+    def _check_call(self, ctx: FileContext, fn: ast.AsyncFunctionDef,
+                    call: ast.Call,
+                    receivers: "set[str]") -> "Finding | None":
+        resolved = ctx.resolve(call.func)
+        if resolved in _BLOCKING_CALLS:
+            hint = "await asyncio.sleep(...)" \
+                if resolved == "time.sleep" \
+                else "asyncio.to_thread(...) or an async subprocess API"
+            return self.finding(
+                ctx, call,
+                f"{resolved}() blocks the event loop inside async "
+                f"{fn.name}(); use {hint}")
+        # untimed queue.get() / lock.acquire() / thread.join() on a
+        # receiver whose name betrays a blocking primitive
+        if isinstance(call.func, ast.Attribute) \
+                and call.func.attr in _BLOCKING_METHODS:
+            receiver = (ctx.resolve(call.func.value) or "").lower()
+            if (receiver in receivers
+                    or any(word in receiver for word in
+                           ("queue", "lock", "event", "thread",
+                            "semaphore", "condition", "process",
+                            "pool"))) \
+                    and "asyncio" not in receiver \
+                    and not _has_timeout(call) \
+                    and not _nonblocking_flag(call):
+                return self.finding(
+                    ctx, call,
+                    f"untimed .{call.func.attr}() on {receiver!r} can "
+                    f"block the event loop inside async {fn.name}(); "
+                    f"give it a timeout, use the non-blocking form, or "
+                    f"move it behind asyncio.to_thread()")
+        return None

@@ -26,8 +26,11 @@ number, only the wall-clock. The tests pin this.
 from repro.campaign.aggregate import Aggregator, CellAggregate
 from repro.campaign.engine import (
     CampaignSummary,
+    as_store,
     run_campaign,
+    store_append_order,
     summarize_store,
+    summarize_stores,
 )
 from repro.campaign.executor import (
     ExecutionReport,
@@ -63,7 +66,8 @@ from repro.campaign.trial import (
 
 __all__ = [
     "Aggregator", "CellAggregate",
-    "CampaignSummary", "run_campaign", "summarize_store",
+    "CampaignSummary", "as_store", "run_campaign", "store_append_order",
+    "summarize_store", "summarize_stores",
     "ExecutionReport", "TrialFailure", "execute_trials",
     "ProgressTracker", "Ticker",
     "CampaignError", "CampaignSpec", "PROTECTED_SCHEMES", "TrialSpec",

@@ -21,7 +21,17 @@ number they report (the tests pin both).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, TextIO, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    TextIO,
+    Tuple,
+)
 
 from repro.campaign.aggregate import Aggregator, CellAggregate
 from repro.campaign.executor import ExecutionReport, execute_trials, run_trial
@@ -125,6 +135,88 @@ def _prefix_aggregate(cell: str, batches: Sequence[Sequence[TrialSpec]],
 EXEC_MODES: Tuple[str, ...] = ("full", "differential")
 
 
+def as_store(store_or_path) -> ResultStore:
+    """Coerce a path into a :class:`ResultStore`; pass store objects
+    through.
+
+    Anything exposing ``append_trial`` (e.g. the service layer's
+    :class:`~repro.service.shards.ShardedStore`) is treated as a store;
+    everything else as a filesystem path. This is the engine's
+    single-process -> multi-tenant seam: orchestration code above can
+    swap the durability layer without the wave loop noticing.
+    """
+    if hasattr(store_or_path, "append_trial"):
+        return store_or_path
+    return ResultStore(store_or_path)
+
+
+def store_append_order(spec: CampaignSpec,
+                       records: Dict[Tuple[str, int], Dict]
+                       ) -> List[Tuple[str, int]]:
+    """The (cell, seed) order a fresh single-store run appends trials in.
+
+    Mirrors the wave loop of :func:`run_campaign` exactly — waves take
+    each active cell's earliest incomplete batch in canonical cell
+    order, and early stopping is re-evaluated at clean batch prefixes
+    from the *recorded* results — so replaying a complete trial set
+    through it reconstructs the byte order of the equivalent
+    uninterrupted single-store campaign. This is what makes a sharded
+    store's merge verifiable: ``merge == single-store run`` byte for
+    byte (the CI gate).
+
+    Keys absent from ``records`` (an interrupted campaign) end the wave
+    that first needs them; any unreachable leftovers are appended in
+    sorted order so the merge is still total and deterministic.
+    """
+    completed: Dict[Tuple[str, int], TrialResult] = {}
+    order: List[Tuple[str, int]] = []
+    finished: Set[str] = set()
+    cells = spec.cells()
+    while True:
+        wave: List[TrialSpec] = []
+        for cell_axes in cells:
+            cid = cell_id(*cell_axes)
+            if cid in finished:
+                continue
+            batches = spec.batches(*cell_axes)
+            pending_batch = None
+            full_prefix = 0
+            for i, batch in enumerate(batches):
+                missing = [t for t in batch if t.key() not in completed]
+                if missing:
+                    pending_batch = missing
+                    break
+                full_prefix = i + 1
+            if pending_batch is None:
+                finished.add(cid)
+                continue
+            prefix_trials = full_prefix * spec.batch
+            at_boundary = len(pending_batch) == len(batches[full_prefix])
+            if (spec.ci_halfwidth is not None and at_boundary
+                    and prefix_trials > 0):
+                prefix = _prefix_aggregate(cid, batches, completed,
+                                           full_prefix)
+                if prefix.ci_met(spec.ci_halfwidth):
+                    finished.add(cid)
+                    continue
+            wave.extend(pending_batch)
+        if not wave:
+            break
+        progressed = False
+        for trial in wave:
+            record = records.get(trial.key())
+            if record is None:
+                continue  # interrupted before this trial ran
+            order.append(trial.key())
+            completed[trial.key()] = TrialResult.from_record(record)
+            progressed = True
+        if not progressed:
+            break
+    emitted = set(order)
+    order.extend(sorted(k for k in records if k not in emitted))
+    return order
+
+
 def run_campaign(spec: CampaignSpec,
                  store_path,
                  workers: Optional[int] = None,
@@ -134,17 +226,28 @@ def run_campaign(spec: CampaignSpec,
                  ticker_enabled: Optional[bool] = None,
                  exec_mode: str = "full",
                  snapshot_interval: Optional[int] = None,
+                 should_stop: Optional[Callable[[], bool]] = None,
                  ) -> CampaignSummary:
     """Run (or resume) a campaign against a JSONL store.
 
     A fresh store is created from ``spec``; an existing one must carry an
-    identical spec header, and its completed trials are skipped. The
-    returned summary's statistics depend only on the spec — never on
-    worker count, timing, interruptions, retry history, or execution
-    mode: ``exec_mode`` (and ``snapshot_interval``, differential-only)
-    trade wall-clock for nothing else, so it is deliberately *not* part
-    of the spec or the store header, and a store begun in one mode may
-    be resumed in the other.
+    identical spec header, and its completed trials are skipped.
+    ``store_path`` may also be an already-constructed store object (see
+    :func:`as_store`) — the service layer passes sharded and observed
+    stores through this seam. The returned summary's statistics depend
+    only on the spec — never on worker count, timing, interruptions,
+    retry history, or execution mode: ``exec_mode`` (and
+    ``snapshot_interval``, differential-only) trade wall-clock for
+    nothing else, so it is deliberately *not* part of the spec or the
+    store header, and a store begun in one mode may be resumed in the
+    other.
+
+    ``should_stop`` is polled at wave boundaries only; returning True
+    stops cleanly after the in-flight wave — every completed trial is
+    already durably appended, so the campaign resumes from its store
+    with nothing lost or repeated. This is the scheduler's cancellation
+    and drain-on-shutdown hook, and by construction it can never change
+    a statistic, only *when* the remaining trials run.
     """
     if exec_mode not in EXEC_MODES:
         raise CampaignError(
@@ -159,7 +262,7 @@ def run_campaign(spec: CampaignSpec,
         )
         runner = differential_runner(snapshot_interval)
         submit_order = submission_key(snapshot_interval)
-    store = ResultStore(store_path)
+    store = as_store(store_path)
     store.repair()  # drop any torn final line before we append past it
     if store.exists():
         stored = store.load_spec()
@@ -199,6 +302,8 @@ def run_campaign(spec: CampaignSpec,
 
     try:
         while True:
+            if should_stop is not None and should_stop():
+                break  # graceful: everything completed is on disk
             wave: List[TrialSpec] = []
             for cell_axes in cells:
                 cid = cell_id(*cell_axes)
@@ -266,13 +371,62 @@ def summarize_store(store_path) -> CampaignSummary:
     A campaign early-stopped cell is reported from its on-disk trials;
     the summary is byte-identical to what ``run_campaign`` returned for
     the same store (minus the progress section, which is ``None`` here).
+    ``store_path`` may be a path or a store object (see :func:`as_store`).
     """
-    store = ResultStore(store_path)
+    store = as_store(store_path)
     if not store.exists():
         raise CampaignError(f"no campaign store at {store.path!r}")
     spec = store.load_spec()
     aggregator = Aggregator()
     completed = _preload(store, aggregator)
+    cells = spec.cells()
+    early_stopped = []
+    for cell_axes in cells:
+        done = sum(1 for t in spec.cell_trials(*cell_axes)
+                   if t.key() in completed)
+        if spec.ci_halfwidth is not None and 0 < done < spec.trials:
+            early_stopped.append(cell_id(*cell_axes))
+    stats = aggregator.summary(cell_order=[cell_id(*c) for c in cells])
+    return CampaignSummary(spec=spec.to_dict(), cells=stats["cells"],
+                           totals=stats["totals"], progress=None,
+                           early_stopped=early_stopped,
+                           hwcost=_scheme_hwcost(spec.schemes))
+
+
+def summarize_stores(store_paths: Iterable) -> CampaignSummary:
+    """Aggregate the union of several stores of ONE campaign.
+
+    Every store (a path or store object) must carry an identical spec
+    header; trials are deduplicated on (cell, seed) across stores in the
+    order given, so summarizing a sharded store's shard files — in any
+    order — reports exactly the statistics of the merged store.
+    Aggregation is integer-sum order-independent, which is what makes
+    that equivalence exact rather than approximate.
+    """
+    stores = [as_store(p) for p in store_paths]
+    if not stores:
+        raise CampaignError("no stores given")
+    missing = [s.path for s in stores if not s.exists()]
+    if missing:
+        raise CampaignError(
+            f"no campaign store at {missing[0]!r}")
+    spec = stores[0].load_spec()
+    for store in stores[1:]:
+        other = store.load_spec()
+        if other != spec:
+            raise CampaignError(
+                f"store {store.path!r} holds a different campaign than "
+                f"{stores[0].path!r} (specs differ); summarize them "
+                f"separately")
+    aggregator = Aggregator()
+    completed: Set[Tuple[str, int]] = set()
+    for store in stores:
+        for record in store.iter_trials():
+            result = TrialResult.from_record(record)
+            if result.key() in completed:
+                continue
+            completed.add(result.key())
+            aggregator.add(result)
     cells = spec.cells()
     early_stopped = []
     for cell_axes in cells:

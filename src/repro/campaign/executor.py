@@ -164,6 +164,13 @@ def execute_trials(trials: Sequence[TrialSpec],
             if on_result is not None:
                 on_result(result)
         return results
+    except KeyboardInterrupt:
+        # graceful SIGINT/SIGTERM: every collected result has already
+        # been appended to the store via on_result; abandon the rest of
+        # the wave instead of blocking shutdown on in-flight workers
+        # (the campaign resumes from the store)
+        abandoned = True
+        raise
     finally:
         # after a timeout a worker may still be wedged on the old job;
         # don't block campaign shutdown on it

@@ -156,6 +156,18 @@ class CampaignSpec:
         return len(self.schemes) * len(self.workloads) * len(self.sers) \
             * self.trials
 
+    def fingerprint(self) -> str:
+        """Short stable digest of the canonical spec JSON.
+
+        Two specs share a fingerprint iff they are equal, so the service
+        journal can verify that a re-adopted job's on-disk store still
+        belongs to the spec it was submitted with before resuming it.
+        """
+        import hashlib
+        import json
+        blob = json.dumps(self.to_dict(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
     # -- JSON round-trip (the store header) ---------------------------------
     def to_dict(self) -> Dict:
         return {

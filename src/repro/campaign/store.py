@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.campaign.spec import CampaignError, CampaignSpec
 
@@ -32,10 +32,18 @@ class StoreCorruption(CampaignError):
 
 
 class ResultStore:
-    """One campaign's JSONL file."""
+    """One campaign's JSONL file.
 
-    def __init__(self, path) -> None:
+    ``on_append`` is an observer hook fired *after* each durably written
+    trial record — the campaign service feeds its live rollups from it.
+    Observation never influences what is written, so the hook cannot
+    perturb the store's byte-identity guarantees.
+    """
+
+    def __init__(self, path,
+                 on_append: Optional[Callable[[Dict], None]] = None) -> None:
         self.path = os.fspath(path)
+        self.on_append = on_append
 
     def exists(self) -> bool:
         return os.path.exists(self.path) and os.path.getsize(self.path) > 0
@@ -101,6 +109,8 @@ class ResultStore:
         with open(self.path, "a") as fh:
             fh.write(line + "\n")
             fh.flush()
+        if self.on_append is not None:
+            self.on_append(record)
 
     # -- reading ------------------------------------------------------------
     def _records(self) -> Iterator[Dict]:

@@ -9,7 +9,8 @@ Everything the library does, runnable from a shell::
     python -m repro table1|table2|table3         # the paper's tables
     python -m repro fig4|fig5|fig6               # the paper's figures
     python -m repro ser|roec|breakeven           # Sec VI-C / VI-D
-    python -m repro campaign run|resume|summarize  # Monte Carlo FI campaigns
+    python -m repro campaign run|resume|summarize|merge  # Monte Carlo FI
+    python -m repro serve                        # campaign-as-a-service
     python -m repro lint                         # simlint determinism gate
 """
 
@@ -485,7 +486,34 @@ def _emit_campaign_summary(summary, as_json: bool) -> int:
     return 0
 
 
+def _sigterm_to_interrupt(signum, frame):
+    # a polite kill (systemd stop, CI cancel, `kill <pid>`) should end a
+    # campaign the same way Ctrl-C does: stop cleanly, keep the store
+    raise KeyboardInterrupt
+
+
+def _campaign_store(path: str, shards: Optional[int] = None):
+    """Resolve --store: a JSONL path, or a sharded store directory."""
+    if shards is not None and shards > 1:
+        from repro.service.shards import ShardedStore
+        return ShardedStore(path, n_shards=shards)
+    if os.path.isdir(path):
+        from repro.service.shards import ShardedStore
+        return ShardedStore(path)
+    return path
+
+
+def _campaign_interrupted(store_arg: str) -> int:
+    # every completed trial was flushed line-by-line before this point,
+    # so the store is durable — tell the user how to pick it back up
+    print(f"\ninterrupted — completed trials are safe in the store.\n"
+          f"resume with: python -m repro campaign resume "
+          f"--store {store_arg}", file=sys.stderr)
+    return 130
+
+
 def _cmd_campaign_run(args) -> int:
+    import signal
     from repro.campaign import CampaignError, CampaignSpec, run_campaign
     sers = [float(s) for s in (args.ser or [])]
     if args.node:
@@ -512,40 +540,102 @@ def _cmd_campaign_run(args) -> int:
                             batch=args.batch,
                             fault_model=args.fault_model,
                             watchdog_cycles=args.watchdog_cycles)
-        summary = run_campaign(
-            spec, args.store, workers=args.workers, timeout=args.timeout,
-            ticker_enabled=True if args.progress else None,
-            exec_mode=args.exec_mode,
-            snapshot_interval=args.snapshot_interval)
+        store = _campaign_store(args.store, args.shards)
+        old_term = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+        try:
+            summary = run_campaign(
+                spec, store, workers=args.workers, timeout=args.timeout,
+                ticker_enabled=True if args.progress else None,
+                exec_mode=args.exec_mode,
+                snapshot_interval=args.snapshot_interval)
+        except KeyboardInterrupt:
+            return _campaign_interrupted(args.store)
+        finally:
+            signal.signal(signal.SIGTERM, old_term)
     except CampaignError as exc:
         raise SystemExit(f"error: {exc}")
     return _emit_campaign_summary(summary, args.json)
 
 
 def _cmd_campaign_resume(args) -> int:
-    from repro.campaign import CampaignError, ResultStore, run_campaign
+    import signal
+    from repro.campaign import CampaignError, as_store, run_campaign
     try:
-        store = ResultStore(args.store)
+        store = as_store(_campaign_store(args.store))
         if not store.exists():
             raise CampaignError(f"no campaign store at {args.store!r}")
         spec = store.load_spec()
-        summary = run_campaign(
-            spec, args.store, workers=args.workers, timeout=args.timeout,
-            ticker_enabled=True if args.progress else None,
-            exec_mode=args.exec_mode,
-            snapshot_interval=args.snapshot_interval)
+        old_term = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
+        try:
+            summary = run_campaign(
+                spec, store, workers=args.workers, timeout=args.timeout,
+                ticker_enabled=True if args.progress else None,
+                exec_mode=args.exec_mode,
+                snapshot_interval=args.snapshot_interval)
+        except KeyboardInterrupt:
+            return _campaign_interrupted(args.store)
+        finally:
+            signal.signal(signal.SIGTERM, old_term)
     except CampaignError as exc:
         raise SystemExit(f"error: {exc}")
     return _emit_campaign_summary(summary, args.json)
 
 
 def _cmd_campaign_summarize(args) -> int:
-    from repro.campaign import CampaignError, summarize_store
+    import glob
+    from repro.campaign import (
+        CampaignError, summarize_store, summarize_stores,
+    )
+    from repro.service.shards import shard_paths
+    paths: List[str] = []
+    for pattern in args.store:
+        if os.path.isdir(pattern):
+            paths.extend(shard_paths(pattern))
+        elif glob.has_magic(pattern):
+            paths.extend(sorted(glob.glob(pattern)))
+        else:
+            paths.append(pattern)
+    if not paths:
+        raise SystemExit(
+            f"error: no store files match {' '.join(args.store)!r} — "
+            f"check the path or glob, or start a campaign with "
+            f"`python -m repro campaign run --store ...`")
     try:
-        summary = summarize_store(args.store)
+        if len(paths) == 1:
+            summary = summarize_store(paths[0])
+        else:
+            summary = summarize_stores(paths)
     except CampaignError as exc:
         raise SystemExit(f"error: {exc}")
+    if not summary.totals.get("trials"):
+        raise SystemExit(
+            f"error: {', '.join(paths)}: the store holds a spec but no "
+            f"trials — the campaign stopped before its first batch; "
+            f"continue it with `python -m repro campaign resume "
+            f"--store {args.store[0]}`")
     return _emit_campaign_summary(summary, args.json)
+
+
+def _cmd_campaign_merge(args) -> int:
+    from repro.campaign import CampaignError
+    from repro.service.shards import merge_shards
+    source = args.shards if len(args.shards) > 1 else args.shards[0]
+    try:
+        count = merge_shards(source, args.out)
+    except CampaignError as exc:
+        raise SystemExit(f"error: {exc}")
+    print(f"merged {count} trials into {args.out}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.server import serve
+    return serve(host=args.host, port=args.port, data_dir=args.data_dir,
+                 max_concurrent=args.max_concurrent,
+                 tenant_quota=args.tenant_quota, shards=args.shards,
+                 workers=args.workers, exec_mode=args.exec_mode,
+                 journal_path=args.journal,
+                 stream_interval=args.stream_interval)
 
 
 def _cmd_lint(args) -> int:
@@ -649,7 +739,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _campaign_common(cp):
         cp.add_argument("--store", required=True, metavar="FILE.jsonl",
-                        help="append-only JSONL result store")
+                        help="append-only JSONL result store (a "
+                             "directory of shard files with --shards)")
         cp.add_argument("--json", action="store_true",
                         help="machine-readable summary instead of tables")
 
@@ -712,6 +803,11 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--watchdog-cycles", type=int, default=None, metavar="N",
                     help="per-trial cycle budget; a tripped watchdog "
                          "records the trial as a HANG outcome")
+    cp.add_argument("--shards", type=int, default=None, metavar="N",
+                    help="split the store into N shard files under the "
+                         "--store directory, routed by cell hash; "
+                         "recombine with `campaign merge` "
+                         "(byte-identical to a single-store run)")
     cp.set_defaults(fn=_cmd_campaign_run)
 
     cp = csub.add_parser("resume", help="continue an interrupted campaign "
@@ -720,10 +816,54 @@ def build_parser() -> argparse.ArgumentParser:
     _campaign_exec(cp)
     cp.set_defaults(fn=_cmd_campaign_resume)
 
-    cp = csub.add_parser("summarize", help="aggregate a store without "
+    cp = csub.add_parser("summarize", help="aggregate store(s) without "
                                            "running anything")
-    _campaign_common(cp)
+    cp.add_argument("--store", required=True, nargs="+", metavar="PATH",
+                    help="store JSONL file(s), a sharded store "
+                         "directory, or a shard glob")
+    cp.add_argument("--json", action="store_true",
+                    help="machine-readable summary instead of tables")
     cp.set_defaults(fn=_cmd_campaign_summarize)
+
+    cp = csub.add_parser("merge", help="merge shard files into one "
+                                       "single-store JSONL (byte-identical "
+                                       "to an unsharded run)")
+    cp.add_argument("shards", nargs="+", metavar="SOURCE",
+                    help="sharded store directory, glob, or shard files")
+    cp.add_argument("--out", required=True, metavar="FILE.jsonl",
+                    help="merged store to write (must not exist)")
+    cp.set_defaults(fn=_cmd_campaign_merge)
+
+    p = sub.add_parser(
+        "serve",
+        help="campaign-as-a-service: HTTP submit/status/results API "
+             "with a live SSE dashboard")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--data-dir", default="campaign-service", metavar="DIR",
+                   help="job stores and the job journal live here "
+                        "(default: ./campaign-service)")
+    p.add_argument("--max-concurrent", type=int, default=2, metavar="N",
+                   help="campaign jobs running at once (default 2)")
+    p.add_argument("--tenant-quota", type=int, default=1, metavar="N",
+                   help="running jobs allowed per tenant (default 1)")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="default shard count for job stores "
+                        "(0 or 1 = single JSONL file)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size per job (default: CPUs)")
+    from repro.campaign.engine import EXEC_MODES
+    p.add_argument("--exec-mode", default="differential",
+                   choices=list(EXEC_MODES),
+                   help="trial execution mode for submitted jobs")
+    p.add_argument("--journal", default=None, metavar="FILE.jsonl",
+                   help="job journal path (default: DATA_DIR/"
+                        "journal.jsonl); a restarted server re-adopts "
+                        "its non-terminal jobs")
+    p.add_argument("--stream-interval", type=float, default=1.0,
+                   metavar="SEC",
+                   help="seconds between dashboard SSE pushes")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "lint",

@@ -1,0 +1,39 @@
+"""Campaign-as-a-service: the multi-tenant face of the campaign engine.
+
+One process owning one JSONL store serves a single sweep; production
+scale (paper Sec VI: SER grids spanning 1e-7..1e-17, 4-way scheme
+comparisons) means many concurrent grids from many clients. This package
+adds the service seam *around* the campaign engine — never a fork of it:
+
+* :class:`~repro.service.shards.ShardedStore` — the JSONL store sharded
+  by cell hash, with a deterministic merge that is byte-identical to the
+  equivalent single-store run (CI-gated);
+* :class:`~repro.service.scheduler.JobScheduler` — an asyncio scheduler
+  multiplexing submitted grids across the existing process-pool
+  executor, with priorities, per-tenant quotas, cancellation, and
+  graceful drain-on-shutdown;
+* :class:`~repro.service.journal.JobJournal` — append-only job-state
+  journal so a restarted server re-adopts in-flight campaigns with no
+  trial lost or repeated (the store's (cell, seed) keying does the
+  deduplication);
+* :mod:`~repro.service.server` — ``repro serve``: submit/status/cancel/
+  results/metrics over HTTP plus a live dashboard streaming
+  MetricsRegistry rollups as server-sent events (stdlib only);
+* :class:`~repro.service.client.ServiceClient` — the stdlib HTTP client
+  the CI smoke and tests drive the API with.
+
+Every determinism invariant of the single-process engine survives
+multiplexing because the service only decides *when* grids run, never
+what a trial computes or in what order a store's bytes land.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.journal import JobJournal
+from repro.service.scheduler import Job, JobScheduler
+from repro.service.shards import ShardedStore, merge_shards, shard_index
+
+__all__ = [
+    "Job", "JobJournal", "JobScheduler",
+    "ServiceClient", "ServiceError",
+    "ShardedStore", "merge_shards", "shard_index",
+]

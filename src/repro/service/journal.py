@@ -1,0 +1,143 @@
+"""Append-only job-state journal: how a restarted server re-adopts work.
+
+The journal is to jobs what the campaign store is to trials — a
+flush-per-line JSONL of state transitions::
+
+    {"event": "submitted", "job_id": "job-000001", "spec": {...}, ...}
+    {"event": "started",   "job_id": "job-000001"}
+    {"event": "finished",  "job_id": "job-000001"}
+
+Replaying it yields each job's last known state. A job whose last event
+is not terminal (``finished``/``failed``/``cancelled``) was in flight
+when the server died; on startup the scheduler resubmits it against its
+recorded store, and the store's (cell, seed) keying guarantees the
+resumed campaign re-runs only the missing trials — no trial lost, none
+duplicated. The reader tolerates exactly one torn final line (a server
+killed mid-append), the same contract as the campaign store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: job states a journal replay can surface
+TERMINAL_EVENTS = frozenset({"finished", "failed", "cancelled"})
+
+
+@dataclass
+class JournalEntry:
+    """Last known state of one journaled job."""
+
+    job_id: str
+    spec: Dict = field(default_factory=dict)
+    tenant: str = "default"
+    priority: int = 0
+    store: str = ""
+    shards: int = 0
+    workers: Optional[int] = None
+    exec_mode: str = "differential"
+    fingerprint: str = ""
+    state: str = "submitted"
+    error: Optional[str] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_EVENTS
+
+
+class JobJournal:
+    """One service instance's job-event JSONL."""
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+
+    # -- writing ------------------------------------------------------------
+    def record(self, event: str, job_id: str, **fields: object) -> None:
+        """Durably append one state transition."""
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        entry = dict(fields, event=event, job_id=job_id)
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+
+    def submitted(self, job_id: str, *, spec: Dict, tenant: str,
+                  priority: int, store: str, shards: int,
+                  workers: Optional[int], exec_mode: str,
+                  fingerprint: str) -> None:
+        self.record("submitted", job_id, spec=spec, tenant=tenant,
+                    priority=priority, store=store, shards=shards,
+                    workers=workers, exec_mode=exec_mode,
+                    fingerprint=fingerprint)
+
+    def started(self, job_id: str) -> None:
+        self.record("started", job_id)
+
+    def finished(self, job_id: str) -> None:
+        self.record("finished", job_id)
+
+    def failed(self, job_id: str, error: str) -> None:
+        self.record("failed", job_id, error=error[-2000:])
+
+    def cancelled(self, job_id: str) -> None:
+        self.record("cancelled", job_id)
+
+    # -- replay -------------------------------------------------------------
+    def replay(self) -> List[JournalEntry]:
+        """Each journaled job's last state, in first-submission order.
+
+        A torn final line (server killed mid-append) is dropped;
+        non-final garbage raises, mirroring the campaign store's
+        corruption contract.
+        """
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path) as fh:
+            lines = fh.read().splitlines()
+        jobs: Dict[str, JournalEntry] = {}
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn final line from a killed server
+                raise ValueError(
+                    f"{self.path}:{i + 1}: unparsable journal record")
+            event = record.get("event")
+            job_id = record.get("job_id")
+            if not job_id:
+                continue
+            if event == "submitted":
+                jobs[job_id] = JournalEntry(
+                    job_id=job_id,
+                    spec=record.get("spec", {}),
+                    tenant=record.get("tenant", "default"),
+                    priority=int(record.get("priority", 0)),
+                    store=record.get("store", ""),
+                    shards=int(record.get("shards", 0)),
+                    workers=record.get("workers"),
+                    exec_mode=record.get("exec_mode", "differential"),
+                    fingerprint=record.get("fingerprint", ""))
+            elif job_id in jobs:
+                jobs[job_id].state = event or "submitted"
+                if event == "failed":
+                    jobs[job_id].error = record.get("error")
+        return list(jobs.values())
+
+    def orphans(self) -> List[JournalEntry]:
+        """Jobs to re-adopt: journaled but never reached a terminal state."""
+        return [entry for entry in self.replay() if not entry.terminal]
+
+    def next_job_number(self) -> int:
+        """1 + the highest numeric job suffix ever journaled."""
+        highest = 0
+        for entry in self.replay():
+            suffix = entry.job_id.rsplit("-", 1)[-1]
+            if suffix.isdigit():
+                highest = max(highest, int(suffix))
+        return highest + 1

@@ -1,0 +1,211 @@
+"""Sharded campaign stores and their deterministic, verifiable merge.
+
+A :class:`ShardedStore` is a directory of ordinary
+:class:`~repro.campaign.store.ResultStore` JSONL files — one per shard —
+with trials routed by a stable hash of their cell id. Every shard
+carries the full spec header, so any shard file is independently
+readable by every existing store consumer (``summarize``, ``metrics
+summarize``, resume).
+
+The merge contract is the subsystem's backbone: for a completed
+campaign, ``merge_shards`` writes a single-store JSONL that is
+**byte-identical** to what an uninterrupted single-store run of the same
+spec would have produced (CI gates this for all protected schemes,
+serial and parallel). The append order is reconstructed by
+:func:`repro.campaign.engine.store_append_order`, which replays the
+engine's own wave loop over the recorded results — one ordering
+authority, not two.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import threading
+import zlib
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.campaign.spec import CampaignError, CampaignSpec
+from repro.campaign.store import ResultStore
+
+#: shard filename pattern inside a sharded store directory
+SHARD_NAME = "shard-{index:02d}.jsonl"
+SHARD_GLOB = "shard-*.jsonl"
+
+
+def shard_index(cell: str, n_shards: int) -> int:
+    """Stable shard routing: CRC32 of the cell id, mod shard count.
+
+    ``zlib.crc32`` is specified byte-for-byte, so routing is identical
+    across processes, interpreters and restarts — a cell's trials always
+    land in the same shard file.
+    """
+    if n_shards <= 0:
+        raise CampaignError("shard count must be positive")
+    return zlib.crc32(cell.encode("utf-8")) % n_shards
+
+
+def shard_paths(directory) -> List[str]:
+    """Existing shard files under ``directory``, in shard-index order."""
+    return sorted(glob.glob(os.path.join(os.fspath(directory), SHARD_GLOB)))
+
+
+class ShardedStore:
+    """A campaign store split across N shard files by cell hash.
+
+    Implements the same surface the engine consumes from
+    :class:`ResultStore` (``exists/repair/create/load_spec/append_trial/
+    iter_trials/completed/trial_records``), so ``run_campaign`` writes
+    through it unchanged. Appends take a per-shard lock: concurrent
+    submitters within one service process interleave *lines*, never
+    bytes, and the merge re-derives a canonical order anyway.
+    """
+
+    def __init__(self, directory, n_shards: Optional[int] = None,
+                 on_append: Optional[Callable[[Dict], None]] = None) -> None:
+        self.path = os.fspath(directory)
+        if n_shards is None:
+            existing = shard_paths(self.path)
+            if not existing:
+                raise CampaignError(
+                    f"no shard files under {self.path!r} and no shard "
+                    f"count given — pass n_shards to create a sharded "
+                    f"store, or point at an existing one")
+            n_shards = len(existing)
+        if n_shards <= 0:
+            raise CampaignError("shard count must be positive")
+        self.n_shards = n_shards
+        self.on_append = on_append
+        self._shards = [
+            ResultStore(os.path.join(self.path,
+                                     SHARD_NAME.format(index=i)))
+            for i in range(n_shards)]
+        self._locks = [threading.Lock() for _ in range(n_shards)]
+
+    # -- the ResultStore surface --------------------------------------------
+    def exists(self) -> bool:
+        return any(s.exists() for s in self._shards)
+
+    def repair(self) -> bool:
+        changed = False
+        for shard in self._shards:
+            changed = shard.repair() or changed
+        return changed
+
+    def create(self, spec: CampaignSpec) -> None:
+        if self.exists():
+            raise CampaignError(
+                f"sharded store {self.path!r} already exists")
+        os.makedirs(self.path, exist_ok=True)
+        for shard in self._shards:
+            shard.create(spec)
+
+    def load_spec(self) -> CampaignSpec:
+        spec: Optional[CampaignSpec] = None
+        for shard in self._shards:
+            if not shard.exists():
+                continue
+            other = shard.load_spec()
+            if spec is None:
+                spec = other
+            elif other != spec:
+                raise CampaignError(
+                    f"shard {shard.path!r} holds a different campaign "
+                    f"than its siblings under {self.path!r}")
+        if spec is None:
+            raise CampaignError(f"sharded store {self.path!r} is empty")
+        return spec
+
+    def append_trial(self, record: Dict) -> None:
+        index = shard_index(record["cell"], self.n_shards)
+        with self._locks[index]:
+            self._shards[index].append_trial(record)
+        if self.on_append is not None:
+            self.on_append(record)
+
+    def iter_trials(self) -> Iterator[Dict]:
+        """Trials across shards (shard-index order), deduplicated.
+
+        The order is deterministic but is NOT the single-store append
+        order — consumers that need byte order go through
+        :func:`merge_shards`. Aggregation is order-independent, so this
+        is the right surface for resume/summarize.
+        """
+        seen: Set[Tuple[str, int]] = set()
+        for shard in self._shards:
+            if not shard.exists():
+                continue
+            for record in shard.iter_trials():
+                key = (record["cell"], record["seed"])
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield record
+
+    def completed(self) -> Set[Tuple[str, int]]:
+        return {(r["cell"], r["seed"]) for r in self.iter_trials()}
+
+    def trial_records(self) -> List[Dict]:
+        return list(self.iter_trials())
+
+    def shard_files(self) -> List[str]:
+        return [s.path for s in self._shards]
+
+
+def _collect(source) -> Tuple[CampaignSpec, Dict[Tuple[str, int], Dict]]:
+    """Spec + deduplicated records of a sharded store / path list."""
+    if isinstance(source, ShardedStore):
+        stores = [ResultStore(p) for p in source.shard_files()]
+    elif isinstance(source, (list, tuple)):
+        stores = [ResultStore(p) for p in source]
+    else:
+        path = os.fspath(source)
+        if os.path.isdir(path):
+            stores = [ResultStore(p) for p in shard_paths(path)]
+        else:
+            stores = [ResultStore(p) for p in sorted(glob.glob(path))]
+    stores = [s for s in stores if s.exists()]
+    if not stores:
+        raise CampaignError(
+            f"no shard stores found at {source!r} — expected a sharded "
+            f"store directory, a glob, or a list of JSONL files")
+    spec: Optional[CampaignSpec] = None
+    records: Dict[Tuple[str, int], Dict] = {}
+    for store in stores:
+        store.repair()
+        other = store.load_spec()
+        if spec is None:
+            spec = other
+        elif other != spec:
+            raise CampaignError(
+                f"shard {store.path!r} holds a different campaign than "
+                f"{stores[0].path!r}; merge shards of one campaign at a "
+                f"time")
+        for record in store.iter_trials():
+            records.setdefault((record["cell"], record["seed"]), record)
+    assert spec is not None
+    return spec, records
+
+
+def merge_shards(source, out_path) -> int:
+    """Merge shard files into one single-store JSONL; returns trial count.
+
+    ``source`` may be a :class:`ShardedStore`, a sharded store
+    directory, a glob, or an explicit list of shard paths. The output is
+    written through the ordinary :class:`ResultStore` append path in the
+    engine-replayed canonical order, so for a completed campaign the
+    result is byte-identical to the equivalent fresh single-store run —
+    the verifiable-aggregation invariant, extended to sharding.
+    """
+    from repro.campaign.engine import store_append_order
+
+    spec, records = _collect(source)
+    out = ResultStore(out_path)
+    if out.exists():
+        raise CampaignError(
+            f"refusing to overwrite existing store {out.path!r}")
+    order = store_append_order(spec, records)
+    out.create(spec)
+    for key in order:
+        out.append_trial(records[key])
+    return len(order)

@@ -1,0 +1,345 @@
+"""Campaign service tests: job journal, asyncio scheduler (priorities,
+quotas, cancellation, drain), the HTTP API round-trip, and restart
+re-adoption with no lost or duplicated trials."""
+
+import asyncio
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.campaign import CampaignError, CampaignSpec, TrialResult
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.journal import JobJournal
+from repro.service.scheduler import (
+    CANCELLED, DONE, QUEUED, RUNNING, SUSPENDED, JobScheduler,
+)
+from repro.service.server import CampaignService, spec_from_request
+from repro.service.shards import ShardedStore
+
+
+def small_spec(**overrides):
+    base = dict(schemes=("unsync",), workloads=("fibonacci",),
+                sers=(0.01,), trials=4, batch=2)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def fast_runner(trial):
+    """Deterministic stand-in for the simulator: seconds become ms."""
+    strikes = 1 + trial.seed % 2
+    return TrialResult(scheme=trial.scheme, workload=trial.workload,
+                       ser=trial.ser, seed=trial.seed, cycles=100,
+                       instructions=120, strikes=strikes,
+                       outcomes={"detected-recovered": strikes},
+                       recovery_cycles=10 * strikes)
+
+
+def make_scheduler(tmp_path, **kwargs):
+    kwargs.setdefault("journal", JobJournal(tmp_path / "journal.jsonl"))
+    kwargs.setdefault("runner", fast_runner)
+    kwargs.setdefault("default_workers", 1)
+    return JobScheduler(tmp_path, **kwargs)
+
+
+def run_until_settled(sched, timeout=30.0):
+    """Drive the scheduler loop until no job is queued or running."""
+    async def drive():
+        task = asyncio.create_task(sched.run())
+        deadline = asyncio.get_running_loop().time() + timeout
+        while any(j.state in (QUEUED, RUNNING) for j in sched.jobs()):
+            if asyncio.get_running_loop().time() > deadline:
+                break
+            await asyncio.sleep(0.01)
+        sched.request_stop()
+        await task
+    asyncio.run(drive())
+
+
+# ---------------------------------------------------------------------------
+# journal
+# ---------------------------------------------------------------------------
+def test_journal_replay_keeps_last_state(tmp_path):
+    journal = JobJournal(tmp_path / "j.jsonl")
+    journal.submitted("job-000001", spec={"trials": 4}, tenant="t",
+                      priority=2, store="s.jsonl", shards=0, workers=1,
+                      exec_mode="full", fingerprint="abc")
+    journal.started("job-000001")
+    journal.submitted("job-000002", spec={}, tenant="u", priority=0,
+                      store="s2.jsonl", shards=2, workers=None,
+                      exec_mode="differential", fingerprint="def")
+    journal.finished("job-000001")
+    entries = {e.job_id: e for e in journal.replay()}
+    assert entries["job-000001"].terminal
+    assert entries["job-000001"].state == "finished"
+    assert entries["job-000002"].state == "submitted"
+    assert [e.job_id for e in journal.orphans()] == ["job-000002"]
+    assert journal.next_job_number() == 3
+
+
+def test_journal_tolerates_torn_final_line(tmp_path):
+    journal = JobJournal(tmp_path / "j.jsonl")
+    journal.submitted("job-000001", spec={}, tenant="t", priority=0,
+                      store="s", shards=0, workers=None,
+                      exec_mode="full", fingerprint="")
+    with open(journal.path, "a") as fh:
+        fh.write('{"event": "fini')  # killed mid-append
+    assert [e.job_id for e in journal.orphans()] == ["job-000001"]
+
+
+def test_journal_rejects_mid_file_garbage(tmp_path):
+    journal = JobJournal(tmp_path / "j.jsonl")
+    with open(journal.path, "w") as fh:
+        fh.write("not json\n")
+        fh.write('{"event": "started", "job_id": "job-000001"}\n')
+    with pytest.raises(ValueError):
+        journal.replay()
+
+
+# ---------------------------------------------------------------------------
+# scheduler
+# ---------------------------------------------------------------------------
+def test_scheduler_runs_job_to_done(tmp_path):
+    sched = make_scheduler(tmp_path)
+    job = sched.submit(small_spec())
+    run_until_settled(sched)
+    assert job.state == DONE
+    assert job.trials_done == 4
+    assert job.summary["totals"]["trials"] == 4
+    assert sched.metrics.counter("service.trials.completed").value == 4
+
+
+def test_scheduler_priorities_and_fifo(tmp_path):
+    sched = make_scheduler(tmp_path, max_concurrent=1, tenant_quota=1)
+    low = sched.submit(small_spec(), priority=0)
+    mid_a = sched.submit(small_spec(seed_base=1), priority=5)
+    mid_b = sched.submit(small_spec(seed_base=2), priority=5)
+    assert sched._runnable() is mid_a  # higher wins, FIFO within
+    mid_a.state = RUNNING
+    assert sched._runnable() is None  # max_concurrent reached
+    mid_a.state = DONE
+    assert sched._runnable() is mid_b
+    mid_b.state = DONE
+    assert sched._runnable() is low
+
+
+def test_scheduler_tenant_quota(tmp_path):
+    sched = make_scheduler(tmp_path, max_concurrent=4, tenant_quota=1)
+    noisy_a = sched.submit(small_spec(), tenant="noisy")
+    noisy_b = sched.submit(small_spec(seed_base=1), tenant="noisy")
+    quiet = sched.submit(small_spec(seed_base=2), tenant="quiet",
+                         priority=-1)
+    noisy_a.state = RUNNING
+    # noisy's second job must wait even though slots are free
+    assert sched._runnable() is quiet
+    assert noisy_b.state == QUEUED
+
+
+def test_cancel_queued_job_never_runs(tmp_path):
+    sched = make_scheduler(tmp_path, max_concurrent=1)
+    first = sched.submit(small_spec())
+    second = sched.submit(small_spec(seed_base=1))
+    assert sched.cancel(second.job_id)
+    run_until_settled(sched)
+    assert first.state == DONE
+    assert second.state == CANCELLED
+    assert second.trials_done == 0
+    # cancellation is terminal: a restart does not re-adopt it
+    assert sched.journal.orphans() == []
+
+
+def test_rollup_shape(tmp_path):
+    sched = make_scheduler(tmp_path)
+    sched.submit(small_spec())
+    run_until_settled(sched)
+    rollup = sched.rollup()
+    assert rollup["totals"]["trials"] == 4
+    assert set(rollup["totals"]["rates"]) == \
+        {"sdc", "due", "recovered", "hang", "crash"}
+    for interval in rollup["totals"]["rates"].values():
+        assert {"estimate", "low", "high"} <= set(interval)
+    assert rollup["trials_per_sec"] >= 0.0
+
+
+def test_adopt_orphans_resumes_without_duplicates(tmp_path):
+    """A server restart re-adopts the journaled job and the store's
+    (cell, seed) keying guarantees no trial is lost or run twice."""
+    sched1 = make_scheduler(tmp_path)
+    job = sched1.submit(small_spec(trials=6, batch=2))
+    # simulate a crash after the first wave: run the engine directly
+    # against the job's store for one batch worth of trials
+    store = sched1._make_store(job)
+    store.create(job.spec)
+    for trial in job.spec.expand()[:2]:
+        store.append_trial(fast_runner(trial).to_record())
+    # restart: a fresh scheduler over the same journal and data dir
+    sched2 = make_scheduler(tmp_path)
+    adopted = sched2.adopt_orphans()
+    assert [j.job_id for j in adopted] == [job.job_id]
+    assert adopted[0].store_path == job.store_path
+    run_until_settled(sched2)
+    assert adopted[0].state == DONE
+    # resumed 2, ran 4 — and every (cell, seed) appears exactly once
+    records = [json.loads(line)
+               for line in open(job.store_path)][1:]
+    keys = [(r["cell"], r["seed"]) for r in records]
+    assert len(keys) == 6
+    assert len(set(keys)) == 6
+    # job numbering continues after the restart instead of colliding
+    assert sched2.submit(small_spec()).job_id != job.job_id
+
+
+def test_adopt_orphans_rejects_fingerprint_mismatch(tmp_path):
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    journal.submitted("job-000001", spec=small_spec().to_dict(),
+                      tenant="t", priority=0, store="s.jsonl", shards=0,
+                      workers=1, exec_mode="full",
+                      fingerprint="not-the-real-fingerprint")
+    sched = make_scheduler(tmp_path, journal=journal)
+    assert sched.adopt_orphans() == []
+    assert journal.orphans() == []  # marked failed, not left dangling
+
+
+def test_drain_suspends_running_job_for_readoption(tmp_path):
+    gate = threading.Event()
+
+    def slow_runner(trial):
+        gate.wait(timeout=10.0)
+        return fast_runner(trial)
+
+    sched = make_scheduler(tmp_path, runner=slow_runner)
+    job = sched.submit(small_spec(trials=6, batch=2))
+
+    async def drive():
+        task = asyncio.create_task(sched.run())
+        while job.state != RUNNING:
+            await asyncio.sleep(0.01)
+        sched.request_stop()  # drain: engine stops at a wave boundary
+        gate.set()
+        await task
+    asyncio.run(drive())
+    assert job.state == SUSPENDED
+    assert 0 < job.trials_done < 6
+    # suspended jobs are exactly what a restarted server re-adopts
+    assert [e.job_id for e in sched.journal.orphans()] == [job.job_id]
+    sched2 = make_scheduler(tmp_path)
+    adopted = sched2.adopt_orphans()
+    run_until_settled(sched2)
+    assert adopted[0].state == DONE
+    assert adopted[0].trials_done + job.trials_done == 6
+
+
+def test_sharded_job_store(tmp_path):
+    sched = make_scheduler(tmp_path, default_shards=2)
+    job = sched.submit(small_spec())
+    run_until_settled(sched)
+    assert job.state == DONE
+    assert len(ShardedStore(job.store_path).trial_records()) == 4
+
+
+# ---------------------------------------------------------------------------
+# submission validation
+# ---------------------------------------------------------------------------
+def test_spec_from_request_validates():
+    spec = spec_from_request({"schemes": ["unsync"],
+                              "workloads": ["fibonacci"],
+                              "sers": [0.01], "trials": 4,
+                              "tenant": "t", "priority": 3})
+    assert spec.trials == 4
+    for bad in ({"schemes": ["unsync"], "workloads": ["fibonacci"]},
+                {"schemes": ["unsync"], "workloads": ["nope"],
+                 "sers": [0.01]},
+                {"schemes": ["unsync"], "workloads": ["fibonacci"],
+                 "sers": [0.01], "bogus_field": 1},
+                []):
+        with pytest.raises(CampaignError):
+            spec_from_request(bad)
+
+
+# ---------------------------------------------------------------------------
+# HTTP round-trip
+# ---------------------------------------------------------------------------
+@pytest.fixture()
+def service(tmp_path):
+    sched = make_scheduler(tmp_path, max_concurrent=2, tenant_quota=2)
+    svc = CampaignService(sched, port=0, stream_interval=0.05)
+    loop = asyncio.new_event_loop()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(svc.start())
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while not svc.port and time.monotonic() < deadline:
+        time.sleep(0.01)
+    yield svc, ServiceClient("127.0.0.1", svc.port, timeout=10.0)
+    asyncio.run_coroutine_threadsafe(svc.stop(), loop).result(timeout=30)
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(timeout=10)
+
+
+def test_http_round_trip(service):
+    svc, client = service
+    assert client.healthz()["ok"] is True
+    job = client.submit({"schemes": ["unsync"],
+                         "workloads": ["fibonacci"],
+                         "sers": [0.01], "trials": 4, "batch": 2})
+    status = client.wait(job["job_id"], timeout=30.0)
+    assert status["state"] == "done"
+    assert status["trials_done"] == 4
+    results = client.results(job["job_id"])
+    assert results["summary"]["totals"]["trials"] == 4
+    assert any(j["job_id"] == job["job_id"] for j in client.jobs())
+    metrics = client.metrics()
+    assert metrics["rollup"]["totals"]["trials"] == 4
+    assert "service.trials.completed" in str(metrics["registry"])
+
+
+def test_http_errors(service):
+    svc, client = service
+    with pytest.raises(ServiceError) as err:
+        client.submit({"schemes": ["unsync"], "workloads": ["nope"],
+                       "sers": [0.01]})
+    assert err.value.status == 400
+    with pytest.raises(ServiceError) as err:
+        client.status("job-999999")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client._request("PUT", "/api/jobs")
+    assert err.value.status == 405
+
+
+def test_http_stream_and_dashboard(service):
+    svc, client = service
+    client.submit({"schemes": ["unsync"], "workloads": ["fibonacci"],
+                   "sers": [0.01], "trials": 4, "batch": 2})
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{svc.port}/api/stream", timeout=5) as resp:
+        assert resp.headers["Content-Type"] == "text/event-stream"
+        line = resp.readline().decode()
+        assert line.startswith("data: ")
+        rollup = json.loads(line[len("data: "):])
+        assert "totals" in rollup and "jobs" in rollup
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{svc.port}/", timeout=5) as resp:
+        page = resp.read().decode()
+        assert "EventSource" in page and "/api/stream" in page
+
+
+def test_http_cancel(service):
+    svc, client = service
+    # fill both slots so the third job stays queued and can be cancelled
+    for seed in (10, 20):
+        client.submit({"schemes": ["unsync"],
+                       "workloads": ["fibonacci"], "sers": [0.01],
+                       "trials": 4, "batch": 2, "seed_base": seed})
+    victim = client.submit({"schemes": ["unsync"],
+                            "workloads": ["fibonacci"], "sers": [0.01],
+                            "trials": 4, "batch": 2, "seed_base": 30})
+    cancelled = client.cancel(victim["job_id"])
+    assert cancelled["state"] in ("cancelled", "running", "done")

@@ -1,0 +1,221 @@
+"""Sharded campaign stores: routing, the ResultStore surface, and the
+merge-determinism acceptance criterion — a fixed-seed sharded run merges
+byte-identical to the equivalent single-store run, serial and parallel,
+including under concurrent appends."""
+
+import json
+import threading
+
+import pytest
+
+from repro.campaign import (
+    CampaignError, CampaignSpec, run_campaign, summarize_store,
+    summarize_stores,
+)
+from repro.service.shards import (
+    ShardedStore, merge_shards, shard_index, shard_paths,
+)
+
+
+def small_spec(**overrides):
+    base = dict(schemes=("unsync",), workloads=("fibonacci",),
+                sers=(0.01,), trials=4, batch=2)
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def single_run(tmp_path_factory):
+    """One uninterrupted single-store campaign to diff merges against."""
+    spec = CampaignSpec(schemes=("unsync", "reunion"),
+                        workloads=("fibonacci",), sers=(0.01,),
+                        trials=8, batch=4)
+    path = tmp_path_factory.mktemp("single") / "store.jsonl"
+    run_campaign(spec, path, workers=1)
+    return spec, path
+
+
+# ---------------------------------------------------------------------------
+# routing
+# ---------------------------------------------------------------------------
+def test_shard_index_is_stable_and_in_range():
+    cells = [f"unsync/fibonacci/{s}" for s in (0.01, 0.02, 0.03)]
+    for cell in cells:
+        idx = shard_index(cell, 4)
+        assert 0 <= idx < 4
+        assert idx == shard_index(cell, 4)  # same process, same answer
+    with pytest.raises(CampaignError):
+        shard_index("cell", 0)
+
+
+def test_cell_trials_never_split_across_shards(tmp_path):
+    spec = small_spec(schemes=("unsync", "reunion"), sers=(0.01, 0.02))
+    store = ShardedStore(tmp_path / "s", n_shards=3)
+    run_campaign(spec, store, workers=1)
+    for path in shard_paths(tmp_path / "s"):
+        cells = set()
+        with open(path) as fh:
+            for line in fh:
+                record = json.loads(line)
+                if record.get("kind") != "spec":
+                    cells.add(record["cell"])
+        for cell in cells:
+            assert shard_index(cell, 3) == \
+                int(path.rsplit("-", 1)[1].split(".")[0])
+
+
+# ---------------------------------------------------------------------------
+# the ResultStore surface
+# ---------------------------------------------------------------------------
+def test_sharded_store_requires_count_or_existing_files(tmp_path):
+    with pytest.raises(CampaignError):
+        ShardedStore(tmp_path / "missing")
+    store = ShardedStore(tmp_path / "s", n_shards=2)
+    store.create(small_spec())
+    # a second handle infers the shard count from the files on disk
+    again = ShardedStore(tmp_path / "s")
+    assert again.n_shards == 2
+    assert again.load_spec() == small_spec()
+
+
+def test_sharded_store_rejects_mixed_specs(tmp_path):
+    store = ShardedStore(tmp_path / "s", n_shards=2)
+    store.create(small_spec())
+    other = ShardedStore(tmp_path / "s2", n_shards=1)
+    other.create(small_spec(trials=9))
+    import shutil
+    shutil.copy(other.shard_files()[0],
+                str(tmp_path / "s" / "shard-01.jsonl"))
+    with pytest.raises(CampaignError):
+        ShardedStore(tmp_path / "s").load_spec()
+
+
+def test_iter_trials_dedups_across_shards(tmp_path):
+    spec = small_spec()
+    store = ShardedStore(tmp_path / "s", n_shards=2)
+    run_campaign(spec, store, workers=1)
+    records = store.trial_records()
+    # duplicate one record into the *other* shard file by hand
+    victim = dict(records[0])
+    with open(store.shard_files()[1 - shard_index(victim["cell"], 2)],
+              "a") as fh:
+        fh.write(json.dumps(victim, sort_keys=True) + "\n")
+    assert len(ShardedStore(tmp_path / "s").trial_records()) == \
+        len(records)
+
+
+# ---------------------------------------------------------------------------
+# merge determinism (the acceptance criterion)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 3])
+def test_sharded_run_merges_byte_identical(single_run, tmp_path, workers):
+    spec, single_path = single_run
+    store = ShardedStore(tmp_path / "sharded", n_shards=3)
+    run_campaign(spec, store, workers=workers)
+    merged = tmp_path / "merged.jsonl"
+    count = merge_shards(tmp_path / "sharded", merged)
+    assert count == len(store.trial_records())
+    assert merged.read_bytes() == single_path.read_bytes()
+
+
+def test_merge_accepts_globs_and_lists(single_run, tmp_path):
+    spec, single_path = single_run
+    store = ShardedStore(tmp_path / "s", n_shards=2)
+    run_campaign(spec, store, workers=1)
+    by_glob = tmp_path / "by_glob.jsonl"
+    merge_shards(str(tmp_path / "s" / "shard-*.jsonl"), by_glob)
+    by_list = tmp_path / "by_list.jsonl"
+    merge_shards(store.shard_files(), by_list)
+    assert by_glob.read_bytes() == by_list.read_bytes() == \
+        single_path.read_bytes()
+
+
+def test_merge_refuses_to_overwrite(single_run, tmp_path):
+    spec, single_path = single_run
+    store = ShardedStore(tmp_path / "s", n_shards=2)
+    run_campaign(spec, store, workers=1)
+    out = tmp_path / "out.jsonl"
+    merge_shards(tmp_path / "s", out)
+    with pytest.raises(CampaignError):
+        merge_shards(tmp_path / "s", out)
+
+
+def test_merge_of_nothing_is_actionable(tmp_path):
+    with pytest.raises(CampaignError):
+        merge_shards(tmp_path / "empty", tmp_path / "out.jsonl")
+
+
+def test_early_stopped_sharded_run_merges_byte_identical(tmp_path):
+    spec = CampaignSpec(schemes=("unsync",), workloads=("fibonacci",),
+                        sers=(0.01,), trials=12, batch=3,
+                        ci_halfwidth=0.4)
+    single = tmp_path / "single.jsonl"
+    run_campaign(spec, single, workers=1)
+    store = ShardedStore(tmp_path / "sharded", n_shards=2)
+    run_campaign(spec, store, workers=1)
+    merged = tmp_path / "merged.jsonl"
+    merge_shards(tmp_path / "sharded", merged)
+    assert merged.read_bytes() == single.read_bytes()
+
+
+def test_concurrent_shard_appends_then_merge(single_run, tmp_path):
+    """Threaded appends through one ShardedStore interleave lines, never
+    bytes, and the merge still reconstructs the canonical order."""
+    spec, single_path = single_run
+    donor = ShardedStore(tmp_path / "donor", n_shards=1)
+    run_campaign(spec, donor, workers=1)
+    records = donor.trial_records()
+    store = ShardedStore(tmp_path / "s", n_shards=3)
+    store.create(spec)
+    chunks = [records[i::4] for i in range(4)]
+
+    def append_all(chunk):
+        for record in chunk:
+            store.append_trial(record)
+
+    threads = [threading.Thread(target=append_all, args=(c,))
+               for c in chunks]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    merged = tmp_path / "merged.jsonl"
+    assert merge_shards(tmp_path / "s", merged) == len(records)
+    assert merged.read_bytes() == single_path.read_bytes()
+
+
+# ---------------------------------------------------------------------------
+# multi-store summarize
+# ---------------------------------------------------------------------------
+def test_summarize_stores_matches_single(single_run, tmp_path):
+    spec, single_path = single_run
+    store = ShardedStore(tmp_path / "s", n_shards=3)
+    run_campaign(spec, store, workers=1)
+    split = summarize_stores(store.shard_files())
+    whole = summarize_store(single_path)
+    assert split.stats_dict() == whole.stats_dict()
+
+
+def test_summarize_stores_needs_at_least_one(tmp_path):
+    with pytest.raises(CampaignError):
+        summarize_stores([])
+    with pytest.raises(CampaignError):
+        summarize_stores([tmp_path / "missing.jsonl"])
+
+
+def test_resume_of_sharded_store(single_run, tmp_path):
+    """A sharded campaign killed mid-run resumes loss-free: the merge of
+    the resumed shards equals the uninterrupted single store."""
+    spec, single_path = single_run
+    store = ShardedStore(tmp_path / "s", n_shards=2)
+    run_campaign(spec, store, workers=1)
+    # drop the last two records of one shard + leave a torn tail
+    victim = store.shard_files()[0]
+    with open(victim) as fh:
+        lines = fh.read().splitlines()
+    with open(victim, "w") as fh:
+        fh.write("\n".join(lines[:-2]) + "\n" + lines[-2][:19])
+    run_campaign(spec, ShardedStore(tmp_path / "s"), workers=1)
+    merged = tmp_path / "merged.jsonl"
+    merge_shards(tmp_path / "s", merged)
+    assert merged.read_bytes() == single_path.read_bytes()

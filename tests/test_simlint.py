@@ -268,6 +268,89 @@ class TestDeepcopyOnHotState:
             config=LintConfig(root=REPO_ROOT)) == []
 
 
+class TestBlockingCallInAsync:
+    SERVICE = "src/repro/service/mod.py"
+
+    def service_codes(self, source):
+        return codes(source, path=self.SERVICE,
+                     config=LintConfig(root=REPO_ROOT))
+
+    def test_time_sleep_in_async_flagged(self):
+        assert "SIM107" in self.service_codes("""
+            import time
+
+            async def push(self):
+                time.sleep(1.0)
+        """)
+
+    def test_sync_subprocess_in_async_flagged(self):
+        assert "SIM107" in self.service_codes("""
+            import subprocess
+
+            async def build(self):
+                subprocess.run(["make"])
+        """)
+
+    def test_untimed_queue_get_in_async_flagged(self):
+        assert "SIM107" in self.service_codes("""
+            import queue
+            jobs = queue.Queue()
+
+            async def drain():
+                return jobs.get()
+        """)
+
+    def test_timed_or_nowait_get_ok(self):
+        assert self.service_codes("""
+            import queue
+            jobs = queue.Queue()
+
+            async def drain():
+                a = jobs.get(timeout=0.1)
+                b = jobs.get(block=False)
+                return a, b
+        """) == []
+
+    def test_asyncio_sleep_ok(self):
+        assert self.service_codes("""
+            import asyncio
+
+            async def push(self):
+                await asyncio.sleep(1.0)
+        """) == []
+
+    def test_sync_function_not_flagged(self):
+        assert self.service_codes("""
+            import time
+
+            def poll(self):
+                time.sleep(1.0)
+        """) == []
+
+    def test_nested_sync_def_not_flagged(self):
+        # a helper handed to asyncio.to_thread runs off-loop; its body
+        # is allowed to block
+        assert self.service_codes("""
+            import asyncio
+            import time
+
+            async def run(self):
+                def worker():
+                    time.sleep(1.0)
+                await asyncio.to_thread(worker)
+        """) == []
+
+    def test_rule_scoped_to_service_package(self):
+        # blocking calls in sync-only packages are not the loop's problem
+        assert codes("""
+            import time
+
+            async def push(self):
+                time.sleep(1.0)
+        """, path="src/repro/harness/mod.py",
+            config=LintConfig(root=REPO_ROOT)) == []
+
+
 # ---------------------------------------------------------------------------
 # SIM2xx hot path
 # ---------------------------------------------------------------------------
