@@ -48,6 +48,8 @@ COPY_PACKAGES: Tuple[str, ...] = (
 )
 
 #: the asyncio-based packages the SIM107 event-loop rule polices
+#: (also the only networked package, so SIM109's retry/timeout
+#: discipline is scoped to the same tree)
 ASYNC_PACKAGES: Tuple[str, ...] = (
     "src/repro/service/",
 )
@@ -56,6 +58,7 @@ DEFAULT_RULE_PATHS: Dict[str, Tuple[str, ...]] = {
     "SIM201": HOT_PACKAGES,
     "SIM106": COPY_PACKAGES,
     "SIM107": ASYNC_PACKAGES,
+    "SIM109": ASYNC_PACKAGES,
 }
 
 

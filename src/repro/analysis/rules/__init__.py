@@ -4,7 +4,8 @@ Families:
 
 * **SIM1xx determinism** — wall-clock reads, unseeded RNGs, unordered
   set iteration, ``id()`` keys, dict-mutation-during-view-iteration,
-  blocking calls inside ``async def`` (event-loop stalls).
+  blocking calls inside ``async def`` (event-loop stalls), unbounded
+  network retry loops / untimed sockets in the service tier.
 * **SIM2xx hot path** — ``__slots__`` on per-cycle records, no eager
   string formatting / logging inside ``step``/``tick`` loops.
 * **SIM3xx multiprocessing hygiene** — executor callables must be
@@ -29,6 +30,7 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.exceptions import BareExcept, SwallowedException
 from repro.analysis.rules.hotpath import FormatInStepLoop, SlotsOnHotRecords
+from repro.analysis.rules.netretry import UnboundedNetRetry
 from repro.analysis.rules.procpool import (
     ModuleGlobalWrite,
     NonModuleLevelWorker,
@@ -43,6 +45,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     DictMutatedDuringIteration(),
     DeepcopyOnHotState(),
     BlockingCallInAsync(),
+    UnboundedNetRetry(),
     SlotsOnHotRecords(),
     FormatInStepLoop(),
     NonModuleLevelWorker(),

@@ -1,0 +1,143 @@
+"""SIM109 — bounded retries and timed sockets in the service tier.
+
+The distributed worker tier lives or dies by two disciplines:
+
+* every retry loop must be **bounded** — a ``while True`` wrapped
+  around a network or subprocess call with no attempt budget or
+  deadline turns a dead coordinator into a wedged worker that holds
+  its lease forever (the exact failure the lease TTL exists to catch);
+* every socket-backed operation must carry an explicit ``timeout`` —
+  the stdlib default is *blocking forever*, which converts one stalled
+  peer into a stalled process.
+
+The sanctioned alternative for both is
+:func:`repro.service.retry.call_with_retry`, which carries attempt
+counts, a wall-clock budget, and jittered backoff. Loops that
+articulate their own bound (a name containing ``deadline``, ``budget``,
+``attempt``, ``tries``/``retries``, or ``remaining``) also pass.
+
+Scoped by default to ``src/repro/service/`` (the only networked
+package), via :data:`repro.analysis.config.DEFAULT_RULE_PATHS`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import FileContext, Rule
+
+#: dotted names that talk to the network or spawn processes
+_NET_CALLS = frozenset({
+    "http.client.HTTPConnection",
+    "http.client.HTTPSConnection",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+})
+
+#: the subset that accepts (and must be given) a ``timeout`` kwarg
+_NEEDS_TIMEOUT = frozenset({
+    "http.client.HTTPConnection",
+    "http.client.HTTPSConnection",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+})
+
+#: identifier fragments that evidence a bound on the loop
+_BUDGET_WORDS = ("deadline", "budget", "attempt", "retries", "tries",
+                 "remaining", "expires")
+
+
+def _loop_is_unconditional(loop: ast.While) -> bool:
+    test = loop.test
+    return isinstance(test, ast.Constant) and bool(test.value) is True
+
+
+def _names_in(node: ast.AST) -> Iterator[str]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id.lower()
+        elif isinstance(child, ast.Attribute):
+            yield child.attr.lower()
+
+
+def _has_budget_evidence(loop: ast.While, ctx: FileContext) -> bool:
+    for name in _names_in(loop):
+        if any(word in name for word in _BUDGET_WORDS):
+            return True
+    for child in ast.walk(loop):
+        if isinstance(child, ast.Call):
+            resolved = ctx.resolve(child.func) or ""
+            if resolved.endswith("call_with_retry"):
+                return True
+        # `break` proves the loop can end, but only budget words prove
+        # it ends on a *schedule*; `return` inside the net call's retry
+        # arm is the classic unbounded shape, so neither counts here
+    return False
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    return any(kw.arg == "timeout" for kw in call.keywords)
+
+
+class UnboundedNetRetry(Rule):
+    """SIM109: service-tier retries need budgets; sockets need timeouts."""
+
+    code: ClassVar[str] = "SIM109"
+    summary: ClassVar[str] = (
+        "unbounded retry loop around a network/subprocess call, or a "
+        "socket operation without an explicit timeout (use "
+        "repro.service.retry.call_with_retry / pass timeout=)")
+    example: ClassVar[str] = \
+        "while True: conn = HTTPConnection(host)  # no budget, no timeout"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.While):
+                finding = self._check_loop(ctx, node)
+                if finding is not None:
+                    yield finding
+            elif isinstance(node, ast.Call):
+                finding = self._check_socket(ctx, node)
+                if finding is not None:
+                    yield finding
+
+    def _check_loop(self, ctx: FileContext,
+                    loop: ast.While) -> Optional[Finding]:
+        if not _loop_is_unconditional(loop):
+            return None
+        net_call = None
+        for child in ast.walk(loop):
+            if isinstance(child, ast.Call) \
+                    and ctx.resolve(child.func) in _NET_CALLS:
+                net_call = ctx.resolve(child.func)
+                break
+        if net_call is None:
+            return None
+        if _has_budget_evidence(loop, ctx):
+            return None
+        return self.finding(
+            ctx, loop,
+            f"while True around {net_call}() with no attempt budget or "
+            f"deadline — a dead peer wedges this loop forever; use "
+            f"repro.service.retry.call_with_retry or bound it with a "
+            f"deadline/attempt counter")
+
+    def _check_socket(self, ctx: FileContext,
+                      call: ast.Call) -> Optional[Finding]:
+        resolved = ctx.resolve(call.func)
+        if resolved not in _NEEDS_TIMEOUT:
+            return None
+        if _has_timeout(call):
+            return None
+        return self.finding(
+            ctx, call,
+            f"{resolved}() without an explicit timeout= blocks forever "
+            f"on a stalled peer; pass a timeout (the retry policy's "
+            f"per-attempt bound)")

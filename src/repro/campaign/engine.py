@@ -227,6 +227,8 @@ def run_campaign(spec: CampaignSpec,
                  exec_mode: str = "full",
                  snapshot_interval: Optional[int] = None,
                  should_stop: Optional[Callable[[], bool]] = None,
+                 executor: Optional[Callable[..., List[TrialResult]]]
+                 = None,
                  ) -> CampaignSummary:
     """Run (or resume) a campaign against a JSONL store.
 
@@ -248,10 +250,17 @@ def run_campaign(spec: CampaignSpec,
     with nothing lost or repeated. This is the scheduler's cancellation
     and drain-on-shutdown hook, and by construction it can never change
     a statistic, only *when* the remaining trials run.
+
+    ``executor`` replaces :func:`execute_trials` as the wave fan-out
+    (same call signature and ordering contract); the service layer's
+    distributed :class:`~repro.service.workers.WaveDispatcher` plugs in
+    here without forking the wave loop, so batch boundaries, early
+    stopping, and store append order stay identical to a local run.
     """
     if exec_mode not in EXEC_MODES:
         raise CampaignError(
             f"exec_mode {exec_mode!r} unknown (choose from {EXEC_MODES})")
+    exec_fn = execute_trials if executor is None else executor
     submit_order = None
     if exec_mode == "differential" and runner is run_trial:
         # a caller-supplied runner wins over the mode switch (tests and
@@ -343,9 +352,9 @@ def run_campaign(spec: CampaignSpec,
             if not wave:
                 break
             wave_report = ExecutionReport()
-            execute_trials(wave, workers=workers, timeout=timeout,
-                           runner=runner, on_result=on_result,
-                           report=wave_report, submit_order=submit_order)
+            exec_fn(wave, workers=workers, timeout=timeout,
+                    runner=runner, on_result=on_result,
+                    report=wave_report, submit_order=submit_order)
             report.worker_failures += wave_report.worker_failures
             report.retries += wave_report.retries
             report.timeouts += wave_report.timeouts

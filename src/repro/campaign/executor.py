@@ -24,6 +24,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, List, Optional, Sequence
 
 from repro.campaign.spec import TrialSpec
@@ -63,11 +64,24 @@ def default_workers(n_trials: int) -> int:
 def _retry(trial: TrialSpec, runner: Callable[[TrialSpec], TrialResult],
            first_error: BaseException,
            report: ExecutionReport) -> TrialResult:
+    """Complete a pool-failed trial in-process under the shared policy.
+
+    The policy (``TRIAL_RETRY``: one attempt, no backoff — a
+    deterministic simulation gains nothing from sleeping) lives in
+    :mod:`repro.service.retry` so campaign pool jobs and service HTTP
+    calls share one retry implementation.
+    """
+    # deferred import: repro.service re-exports the scheduler, which
+    # imports this module back through the engine — resolving the retry
+    # utility at call time keeps campaign -> service import-cycle free
+    from repro.service.retry import TRIAL_RETRY, RetryError, call_with_retry
+
     report.worker_failures += 1
     report.retries += 1
     try:
-        return runner(trial)
-    except Exception as exc:
+        return call_with_retry(partial(runner, trial), policy=TRIAL_RETRY)
+    except RetryError as err:
+        exc = err.cause
         report.worker_failures += 1
         report.crashes += 1
         cause = "".join(traceback.format_exception(

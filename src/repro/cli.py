@@ -11,6 +11,7 @@ Everything the library does, runnable from a shell::
     python -m repro ser|roec|breakeven           # Sec VI-C / VI-D
     python -m repro campaign run|resume|summarize|merge  # Monte Carlo FI
     python -m repro serve                        # campaign-as-a-service
+    python -m repro worker --connect host:port   # distributed trial worker
     python -m repro lint                         # simlint determinism gate
 """
 
@@ -629,13 +630,59 @@ def _cmd_campaign_merge(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    from repro.service.chaos import ChaosError
     from repro.service.server import serve
-    return serve(host=args.host, port=args.port, data_dir=args.data_dir,
-                 max_concurrent=args.max_concurrent,
-                 tenant_quota=args.tenant_quota, shards=args.shards,
-                 workers=args.workers, exec_mode=args.exec_mode,
-                 journal_path=args.journal,
-                 stream_interval=args.stream_interval)
+    try:
+        return serve(host=args.host, port=args.port,
+                     data_dir=args.data_dir,
+                     max_concurrent=args.max_concurrent,
+                     tenant_quota=args.tenant_quota, shards=args.shards,
+                     workers=args.workers, exec_mode=args.exec_mode,
+                     journal_path=args.journal,
+                     stream_interval=args.stream_interval,
+                     lease_ttl=args.lease_ttl,
+                     expect_workers=args.expect_workers,
+                     worker_wait=args.worker_wait, chaos=args.chaos)
+    except ChaosError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _cmd_worker(args) -> int:
+    import signal
+    import threading
+    import urllib.parse
+
+    from repro.service.chaos import ChaosController, ChaosError
+    from repro.service.client import ServiceError
+    from repro.service.retry import RetryError
+    from repro.service.workers import run_worker
+    url = args.connect if "//" in args.connect else f"//{args.connect}"
+    parsed = urllib.parse.urlsplit(url)
+    host = parsed.hostname or "127.0.0.1"
+    port = parsed.port or 8765
+    stop = threading.Event()
+
+    def _graceful(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGINT, _graceful)
+    signal.signal(signal.SIGTERM, _graceful)
+    try:
+        chaos = ChaosController.from_spec(args.chaos)
+    except ChaosError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        stats = run_worker(host, port, name=args.name,
+                           poll_interval=args.poll_interval,
+                           max_idle=args.max_idle, chaos=chaos,
+                           stop=stop)
+    except (ServiceError, RetryError, OSError) as exc:
+        raise SystemExit(f"error: coordinator at {host}:{port} "
+                         f"unreachable: {exc}")
+    print(f"worker done: {stats['leases']} leases, "
+          f"{stats['trials']} trials"
+          + (f", {stats['lost']} lost" if stats["lost"] else ""))
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -863,7 +910,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stream-interval", type=float, default=1.0,
                    metavar="SEC",
                    help="seconds between dashboard SSE pushes")
+    p.add_argument("--lease-ttl", type=float, default=10.0, metavar="SEC",
+                   help="distributed worker lease TTL; heartbeats renew "
+                        "at TTL/3, an expired lease is requeued "
+                        "(default 10)")
+    p.add_argument("--expect-workers", type=int, default=0, metavar="N",
+                   help="wait for at least one distributed worker before "
+                        "the first wave; 0 = run waves locally whenever "
+                        "no worker is live (default 0)")
+    p.add_argument("--worker-wait", type=float, default=10.0,
+                   metavar="SEC",
+                   help="how long to wait for the first worker before "
+                        "falling back to local execution (default 10)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="seeded service-side fault injection, e.g. "
+                        "'seed=7,http-500-rate=0.2,tear-journal-every=3' "
+                        "(see repro.service.chaos)")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="distributed campaign worker: claim wave leases from a "
+             "`repro serve` coordinator and stream results back")
+    p.add_argument("--connect", required=True, metavar="URL",
+                   help="coordinator address (http://host:port or "
+                        "host:port)")
+    p.add_argument("--name", default=None,
+                   help="display name in /api/workers (default: "
+                        "broker-assigned id)")
+    p.add_argument("--poll-interval", type=float, default=0.5,
+                   metavar="SEC",
+                   help="idle delay between claim attempts (default 0.5)")
+    p.add_argument("--max-idle", type=float, default=None, metavar="SEC",
+                   help="exit cleanly after this long without a lease "
+                        "(default: run until SIGINT/SIGTERM)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="seeded worker-side fault injection, e.g. "
+                        "'seed=3,kill-after=5,kill-point=mid-wave' or "
+                        "'hb-drop=4' (see repro.service.chaos)")
+    p.set_defaults(fn=_cmd_worker)
 
     p = sub.add_parser(
         "lint",

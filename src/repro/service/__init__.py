@@ -20,20 +20,39 @@ adds the service seam *around* the campaign engine — never a fork of it:
   results/metrics over HTTP plus a live dashboard streaming
   MetricsRegistry rollups as server-sent events (stdlib only);
 * :class:`~repro.service.client.ServiceClient` — the stdlib HTTP client
-  the CI smoke and tests drive the API with.
+  the CI smoke and tests drive the API with;
+* :mod:`~repro.service.workers` — the distributed worker tier:
+  ``repro worker`` processes claim wave-grained leases over HTTP,
+  renew them with heartbeats, and stream results back; expired leases
+  requeue (at-least-once) and the dispatcher falls back to local
+  execution when no workers are available;
+* :mod:`~repro.service.retry` — the shared backoff policy (exponential
+  + full jitter, budgets) used by pool retries and service HTTP calls;
+* :mod:`~repro.service.chaos` — seeded fault injection for the service
+  stack itself (worker SIGKILLs, dropped heartbeats, torn journal
+  lines, injected 500s/stalls).
 
 Every determinism invariant of the single-process engine survives
 multiplexing because the service only decides *when* grids run, never
 what a trial computes or in what order a store's bytes land.
 """
 
+from repro.service.chaos import ChaosConfig, ChaosController, ChaosError
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.journal import JobJournal
+from repro.service.journal import JobJournal, JournalLocked
+from repro.service.retry import (HTTP_RETRY, TRIAL_RETRY, RetryError,
+                                 RetryPolicy, call_with_retry)
 from repro.service.scheduler import Job, JobScheduler
 from repro.service.shards import ShardedStore, merge_shards, shard_index
+from repro.service.workers import (LeaseBroker, WaveDispatcher,
+                                   WorkerClient, run_worker)
 
 __all__ = [
-    "Job", "JobJournal", "JobScheduler",
+    "ChaosConfig", "ChaosController", "ChaosError",
+    "HTTP_RETRY", "TRIAL_RETRY",
+    "Job", "JobJournal", "JobScheduler", "JournalLocked",
+    "LeaseBroker", "RetryError", "RetryPolicy",
     "ServiceClient", "ServiceError",
-    "ShardedStore", "merge_shards", "shard_index",
+    "ShardedStore", "WaveDispatcher", "WorkerClient",
+    "call_with_retry", "merge_shards", "run_worker", "shard_index",
 ]

@@ -1,0 +1,179 @@
+"""Deterministic, seeded fault injection for the service stack itself.
+
+PR 4 pointed an adversarial fault model at the simulated cores; this
+module points the same methodology at the harness. A single
+:class:`ChaosController`, parsed from a compact ``key=value`` spec
+string, drives every injected failure from one seeded RNG plus
+deterministic counters, so a chaos soak replays bit-for-bit:
+
+Worker-side faults (``repro worker --chaos ...``):
+
+* ``kill-after=N`` + ``kill-point=mid-wave|boundary`` — SIGKILL the
+  worker process after its Nth executed trial, either *before* the
+  lease's results are posted (mid-wave: work is lost, the lease must
+  expire and requeue) or *after* (boundary: no work lost, tests clean
+  worker-loss detection).
+* ``hb-drop=K`` — swallow the first K heartbeats so the lease TTL
+  lapses while the worker is still computing.
+* ``hb-delay=S`` — delay every surviving heartbeat by S seconds.
+
+Coordinator-side faults (``repro serve --chaos ...``):
+
+* ``http-500-rate=P`` — fail worker-API requests with an injected 500.
+* ``http-stall-rate=P`` + ``http-stall=S`` — stall worker-API
+  responses past the client's socket timeout.
+* ``tear-journal-every=N`` — tear every Nth journal append mid-line,
+  simulating a writer killed between ``write`` and the newline.
+
+All counters are per-process; the seed only feeds the rate-based
+faults, so two processes given the same spec inject the same sequence.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+KILL_MID_WAVE = "mid-wave"
+KILL_BOUNDARY = "boundary"
+
+
+class ChaosError(ValueError):
+    """A chaos spec string could not be parsed."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parsed ``--chaos`` spec; all faults disabled by default."""
+
+    seed: int = 0
+    kill_after: int = 0
+    kill_point: str = KILL_MID_WAVE
+    hb_drop: int = 0
+    hb_delay: float = 0.0
+    http_500_rate: float = 0.0
+    http_stall_rate: float = 0.0
+    http_stall: float = 0.5
+    tear_journal_every: int = 0
+
+    _INT_KEYS = ("seed", "kill-after", "hb-drop", "tear-journal-every")
+    _FLOAT_KEYS = ("hb-delay", "http-500-rate", "http-stall-rate",
+                   "http-stall")
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosConfig":
+        """Parse ``key=value[,key=value...]`` into a config.
+
+        Unknown keys and malformed values raise :class:`ChaosError`
+        with the offending token, so a typo'd soak fails loudly
+        instead of silently injecting nothing.
+        """
+        values: Dict[str, object] = {}
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, sep, raw = token.partition("=")
+            if not sep:
+                raise ChaosError(
+                    f"chaos token {token!r} is not key=value")
+            try:
+                if key in cls._INT_KEYS:
+                    values[key.replace("-", "_")] = int(raw)
+                elif key in cls._FLOAT_KEYS:
+                    values[key.replace("-", "_")] = float(raw)
+                elif key == "kill-point":
+                    if raw not in (KILL_MID_WAVE, KILL_BOUNDARY):
+                        raise ChaosError(
+                            f"kill-point must be {KILL_MID_WAVE!r} or "
+                            f"{KILL_BOUNDARY!r}, not {raw!r}")
+                    values["kill_point"] = raw
+                else:
+                    raise ChaosError(f"unknown chaos key {key!r}")
+            except ValueError as exc:
+                if isinstance(exc, ChaosError):
+                    raise
+                raise ChaosError(
+                    f"bad value for chaos key {key!r}: {raw!r}") from exc
+        return cls(**values)  # type: ignore[arg-type]
+
+
+def _sigkill_self() -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class ChaosController:
+    """Stateful injector: one per process, counters plus a seeded RNG.
+
+    ``kill`` is injectable for tests (the default really does SIGKILL
+    the calling process, exactly like a crashed worker: no cleanup, no
+    result post, no heartbeat goodbye).
+    """
+
+    def __init__(self, config: ChaosConfig,
+                 kill: Callable[[], None] = _sigkill_self) -> None:
+        self.config = config
+        self._kill = kill
+        self._rng = random.Random(config.seed)
+        self._trials = 0
+        self._heartbeats = 0
+        self._appends = 0
+        self._killed = False
+
+    @classmethod
+    def from_spec(cls, spec: Optional[str],
+                  kill: Callable[[], None] = _sigkill_self,
+                  ) -> Optional["ChaosController"]:
+        """Build a controller from a spec string; None/empty -> None."""
+        if not spec:
+            return None
+        return cls(ChaosConfig.parse(spec), kill=kill)
+
+    # ----- worker side -------------------------------------------------
+    def after_trial(self) -> None:
+        """Called after each executed trial, before results are posted."""
+        self._trials += 1
+        if (self.config.kill_after
+                and self.config.kill_point == KILL_MID_WAVE
+                and self._trials >= self.config.kill_after
+                and not self._killed):
+            self._killed = True
+            self._kill()
+
+    def at_wave_boundary(self) -> None:
+        """Called after a lease's results have been posted."""
+        if (self.config.kill_after
+                and self.config.kill_point == KILL_BOUNDARY
+                and self._trials >= self.config.kill_after
+                and not self._killed):
+            self._killed = True
+            self._kill()
+
+    def drop_heartbeat(self) -> bool:
+        """True if this heartbeat should be silently swallowed."""
+        self._heartbeats += 1
+        return self._heartbeats <= self.config.hb_drop
+
+    def heartbeat_delay(self) -> float:
+        return self.config.hb_delay
+
+    # ----- coordinator side --------------------------------------------
+    def http_fault(self) -> Optional[Tuple[str, float]]:
+        """Fault for one worker-API request: ("error"|"stall", delay)."""
+        roll = self._rng.random()
+        if roll < self.config.http_500_rate:
+            return ("error", 0.0)
+        if roll < self.config.http_500_rate + self.config.http_stall_rate:
+            return ("stall", self.config.http_stall)
+        return None
+
+    def tear_journal(self) -> bool:
+        """True if this journal append should be torn mid-line."""
+        every = self.config.tear_journal_every
+        if not every:
+            return False
+        self._appends += 1
+        return self._appends % every == 0

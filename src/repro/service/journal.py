@@ -14,17 +14,31 @@ recorded store, and the store's (cell, seed) keying guarantees the
 resumed campaign re-runs only the missing trials — no trial lost, none
 duplicated. The reader tolerates exactly one torn final line (a server
 killed mid-append), the same contract as the campaign store.
+
+Adoption is exclusive: :meth:`JobJournal.acquire_lock` takes an
+``O_CREAT | O_EXCL`` lock file next to the journal so two servers
+pointed at the same data dir cannot both re-adopt (and both restart)
+the same orphaned jobs. A lock left behind by a dead process is
+detected by pid liveness and broken automatically.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 #: job states a journal replay can surface
 TERMINAL_EVENTS = frozenset({"finished", "failed", "cancelled"})
+
+#: a pid-less lock older than this is presumed abandoned
+STALE_LOCK_SECONDS = 300.0
+
+
+class JournalLocked(RuntimeError):
+    """Another live server owns this journal (double-adoption guard)."""
 
 
 @dataclass
@@ -51,17 +65,131 @@ class JournalEntry:
 class JobJournal:
     """One service instance's job-event JSONL."""
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, chaos=None) -> None:
         self.path = os.fspath(path)
+        self.chaos = chaos
+        self._locked = False
+
+    # -- exclusive adoption -------------------------------------------------
+    @property
+    def lock_path(self) -> str:
+        return self.path + ".lock"
+
+    def acquire_lock(self, *,
+                     stale_after: float = STALE_LOCK_SECONDS) -> None:
+        """Take exclusive ownership of this journal or raise.
+
+        Raises :class:`JournalLocked` if another *live* process holds
+        the lock. A stale lock (holder pid no longer exists, or no pid
+        and older than ``stale_after``) is broken and re-taken; the
+        ``O_EXCL`` create arbitrates the resulting race — exactly one
+        contender wins, the other sees the fresh live lock and raises.
+        """
+        if self._locked:
+            return
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        for _ in range(3):
+            try:
+                fd = os.open(self.lock_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                holder = self._read_lock()
+                if holder is None or self._lock_stale(holder, stale_after):
+                    try:
+                        os.unlink(self.lock_path)
+                    except FileNotFoundError:
+                        pass  # the other contender broke it first
+                    continue
+                raise JournalLocked(
+                    f"journal {self.path!r} is owned by pid "
+                    f"{holder.get('pid')} (lock file {self.lock_path!r}); "
+                    f"if that server is really gone, delete the lock")
+            with os.fdopen(fd, "w") as fh:
+                json.dump({"pid": os.getpid(), "created": time.time()}, fh)
+                fh.flush()
+            self._locked = True
+            return
+        raise JournalLocked(
+            f"could not win the lock race for {self.lock_path!r}")
+
+    def release_lock(self) -> None:
+        if not self._locked:
+            return
+        self._locked = False
+        try:
+            os.unlink(self.lock_path)
+        except FileNotFoundError:
+            pass  # an admin broke the lock by hand; nothing to release
+
+    def _read_lock(self) -> Optional[Dict]:
+        try:
+            with open(self.lock_path) as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None  # vanished or garbled: treated as stale
+        return data if isinstance(data, dict) else None
+
+    def _lock_stale(self, holder: Dict, stale_after: float) -> bool:
+        pid = holder.get("pid")
+        if isinstance(pid, int):
+            if pid == os.getpid():
+                # another journal instance in this very process — a
+                # second scheduler, not a dead one
+                return False
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True
+            except PermissionError:
+                return False  # alive under another uid
+            return False
+        created = holder.get("created")
+        if isinstance(created, (int, float)):
+            return time.time() - created > stale_after
+        return True
 
     # -- writing ------------------------------------------------------------
+    def repair(self) -> bool:
+        """Heal a torn trailing append before writing after it.
+
+        A complete-but-newline-less final record gets its newline; a
+        truly torn fragment is truncated away (its event is lost, which
+        is crash-equivalent: re-adoption re-runs only missing trials).
+        Returns True if the file was modified.
+        """
+        if not os.path.exists(self.path):
+            return False
+        with open(self.path, "rb+") as fh:
+            data = fh.read()
+            if not data or data.endswith(b"\n"):
+                return False
+            cut = data.rfind(b"\n") + 1
+            try:
+                json.loads(data[cut:].decode())
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                fh.seek(cut)
+                fh.truncate()
+            else:
+                fh.write(b"\n")
+            fh.flush()
+            return True
+
     def record(self, event: str, job_id: str, **fields: object) -> None:
         """Durably append one state transition."""
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
+        self.repair()  # a torn tail must never become mid-file garbage
         entry = dict(fields, event=event, job_id=job_id)
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        if self.chaos is not None and self.chaos.tear_journal():
+            # simulate a writer killed between write() and the newline
+            with open(self.path, "a") as fh:
+                fh.write(line[:max(1, len(line) // 2)])
+                fh.flush()
+            return
         with open(self.path, "a") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.write(line)
             fh.flush()
 
     def submitted(self, job_id: str, *, spec: Dict, tenant: str,

@@ -43,6 +43,7 @@ from repro.campaign.trial import TrialResult
 from repro.harness.statistics import wilson_interval
 from repro.service.journal import JobJournal
 from repro.service.shards import ShardedStore
+from repro.service.workers import LeaseBroker, WaveDispatcher
 from repro.telemetry.metrics import MetricsRegistry
 
 #: job lifecycle states
@@ -123,7 +124,10 @@ class JobScheduler:
                  metrics: Optional[MetricsRegistry] = None,
                  default_shards: int = 0,
                  default_workers: Optional[int] = None,
-                 exec_mode: str = "differential") -> None:
+                 exec_mode: str = "differential",
+                 broker: Optional[LeaseBroker] = None,
+                 expect_workers: int = 0,
+                 worker_wait: float = 10.0) -> None:
         if max_concurrent <= 0:
             raise CampaignError("max_concurrent must be positive")
         if tenant_quota <= 0:
@@ -137,6 +141,9 @@ class JobScheduler:
         self.default_shards = default_shards
         self.default_workers = default_workers
         self.exec_mode = exec_mode
+        self.broker = broker
+        self.expect_workers = expect_workers
+        self.worker_wait = worker_wait
         self._jobs: Dict[str, Job] = {}
         self._seq = itertools.count(1)
         self._numbers = itertools.count(
@@ -206,6 +213,9 @@ class JobScheduler:
         adopted: List[Job] = []
         if self.journal is None:
             return adopted
+        # exclusive adoption: two servers pointed at one data dir must
+        # not both resubmit (and both run) the same orphaned campaigns
+        self.journal.acquire_lock()
         for entry in self.journal.orphans():
             spec = CampaignSpec.from_dict(entry.spec)
             if entry.fingerprint and spec.fingerprint() != entry.fingerprint:
@@ -339,6 +349,11 @@ class JobScheduler:
         kwargs = {}
         if self.runner is not None:
             kwargs["runner"] = self.runner
+        if self.broker is not None:
+            kwargs["executor"] = WaveDispatcher(
+                self.broker, job_id=job.job_id,
+                expect_workers=self.expect_workers,
+                worker_wait=self.worker_wait, metrics=self.metrics)
         return run_campaign(
             job.spec, self._make_store(job), workers=job.workers,
             exec_mode=job.exec_mode,
@@ -419,4 +434,6 @@ class JobScheduler:
                     self._tasks[job.job_id] = asyncio.create_task(
                         self._run_job(job))
         finally:
+            if self.journal is not None:
+                self.journal.release_lock()
             self._stopped.set()

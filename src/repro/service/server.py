@@ -13,6 +13,19 @@ no framework, no new runtime dependency — exposing the scheduler::
     GET  /api/metrics           MetricsRegistry snapshot + rollup
     GET  /api/stream            rollups as server-sent events
 
+Worker API (the distributed tier — see :mod:`repro.service.workers`)::
+
+    POST /api/workers/register        join the worker pool
+    GET  /api/workers                 worker + lease-broker status
+    POST /api/workers/<id>/claim      claim the next pending lease
+    POST /api/workers/<id>/heartbeat  renew liveness + held leases
+    POST /api/workers/<id>/results    post a lease's trial records
+
+With ``--chaos`` the worker API also doubles as a fault surface:
+seeded 500s and response stalls are injected ahead of routing, and
+journal appends can be torn mid-line — the soak harness for the
+retry/requeue machinery.
+
 Every response is ``Connection: close`` — requests are short-lived and
 the streaming endpoint holds its connection open anyway. Submissions are
 journaled before the handler replies, so a reply of ``job_id`` is a
@@ -93,11 +106,12 @@ class CampaignService:
 
     def __init__(self, scheduler: JobScheduler, *,
                  host: str = "127.0.0.1", port: int = 0,
-                 stream_interval: float = 1.0) -> None:
+                 stream_interval: float = 1.0, chaos=None) -> None:
         self.scheduler = scheduler
         self.host = host
         self.port = port
         self.stream_interval = stream_interval
+        self.chaos = chaos
         self._server: Optional[asyncio.AbstractServer] = None
         self._scheduler_task: Optional["asyncio.Task[None]"] = None
         self._conn_tasks: list = []
@@ -180,6 +194,19 @@ class CampaignService:
             if target == "/api/stream" and method == "GET":
                 await self._stream(writer)
                 return
+            if self.chaos is not None \
+                    and target.startswith("/api/workers"):
+                fault = self.chaos.http_fault()
+                if fault is not None:
+                    kind, delay = fault
+                    if kind == "error":
+                        await self._write_response(
+                            writer, 500,
+                            self._json_bytes({"error": "chaos: 500"}))
+                        return
+                    # stall only this connection past the client's
+                    # socket timeout; the loop keeps serving others
+                    await asyncio.sleep(delay)
             status, payload, content_type = self._route(
                 method, target, body)
             await self._write_response(writer, status, payload,
@@ -221,8 +248,60 @@ class CampaignService:
                  "rollup": self.scheduler.rollup()}), "application/json"
         if target.startswith("/api/jobs/"):
             return self._job_route(method, target[len("/api/jobs/"):])
+        if target == "/api/workers" or target.startswith("/api/workers/"):
+            return self._worker_route(method, target, body)
         return 404, self._json_bytes({"error": f"no route {target!r}"}), \
             "application/json"
+
+    def _worker_route(self, method: str, target: str,
+                      body: bytes) -> Tuple[int, bytes, str]:
+        broker = self.scheduler.broker
+        if broker is None:
+            return 404, self._json_bytes(
+                {"error": "this server has no worker tier"}), \
+                "application/json"
+        if target == "/api/workers" and method == "GET":
+            return 200, self._json_bytes(
+                {"workers": broker.workers_status(),
+                 "leases": broker.stats()}), "application/json"
+        try:
+            data = json.loads(body.decode() or "{}")
+        except json.JSONDecodeError:
+            return 400, self._json_bytes({"error": "bad JSON body"}), \
+                "application/json"
+        if target == "/api/workers/register" and method == "POST":
+            return 200, self._json_bytes(
+                broker.register(data.get("name"))), "application/json"
+        rest = target[len("/api/workers/"):]
+        worker_id, _, action = rest.partition("/")
+        if method != "POST":
+            return 405, self._json_bytes({"error": "method not allowed"}), \
+                "application/json"
+        if action == "claim":
+            try:
+                lease = broker.claim(worker_id)
+            except KeyError:
+                return 404, self._json_bytes(
+                    {"error": f"unknown worker {worker_id!r}; "
+                     f"re-register"}), "application/json"
+            return 200, self._json_bytes({"lease": lease}), \
+                "application/json"
+        if action == "heartbeat":
+            ack = broker.heartbeat(worker_id,
+                                   [str(x) for x in data.get("leases", [])])
+            if ack is None:
+                return 404, self._json_bytes(
+                    {"error": f"unknown worker {worker_id!r}; "
+                     f"re-register"}), "application/json"
+            return 200, self._json_bytes(ack), "application/json"
+        if action == "results":
+            accepted = broker.complete(
+                worker_id, str(data.get("lease_id", "")),
+                list(data.get("records", [])))
+            return 200, self._json_bytes({"accepted": accepted}), \
+                "application/json"
+        return 404, self._json_bytes(
+            {"error": f"no worker route {target!r}"}), "application/json"
 
     def _submit(self, body: bytes) -> Tuple[int, bytes, str]:
         if self.scheduler.stopping:
@@ -317,17 +396,31 @@ def serve(*, host: str, port: int, data_dir: str,
           max_concurrent: int, tenant_quota: int,
           shards: int, workers: Optional[int], exec_mode: str,
           journal_path: Optional[str] = None,
-          stream_interval: float = 1.0) -> int:
+          stream_interval: float = 1.0,
+          lease_ttl: float = 10.0,
+          expect_workers: int = 0,
+          worker_wait: float = 10.0,
+          chaos: Optional[str] = None) -> int:
     """CLI entry point: run the service until SIGINT/SIGTERM, then drain."""
     import os
+
+    from repro.service.chaos import ChaosController
+    from repro.service.workers import LeaseBroker
+    from repro.telemetry.metrics import MetricsRegistry
+    chaos_ctl = ChaosController.from_spec(chaos)
     journal = JobJournal(journal_path if journal_path is not None
-                         else os.path.join(data_dir, "journal.jsonl"))
+                         else os.path.join(data_dir, "journal.jsonl"),
+                         chaos=chaos_ctl)
+    metrics = MetricsRegistry()
+    broker = LeaseBroker(lease_ttl=lease_ttl, metrics=metrics)
     scheduler = JobScheduler(
         data_dir, max_concurrent=max_concurrent,
         tenant_quota=tenant_quota, journal=journal,
         default_shards=shards, default_workers=workers,
-        exec_mode=exec_mode)
+        exec_mode=exec_mode, metrics=metrics, broker=broker,
+        expect_workers=expect_workers, worker_wait=worker_wait)
     service = CampaignService(scheduler, host=host, port=port,
-                              stream_interval=stream_interval)
+                              stream_interval=stream_interval,
+                              chaos=chaos_ctl)
     asyncio.run(_serve_async(service))
     return 0

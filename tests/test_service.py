@@ -4,6 +4,9 @@ re-adoption with no lost or duplicated trials."""
 
 import asyncio
 import json
+import os
+import subprocess
+import sys
 import threading
 import time
 import urllib.request
@@ -12,7 +15,7 @@ import pytest
 
 from repro.campaign import CampaignError, CampaignSpec, TrialResult
 from repro.service.client import ServiceClient, ServiceError
-from repro.service.journal import JobJournal
+from repro.service.journal import JobJournal, JournalLocked
 from repro.service.scheduler import (
     CANCELLED, DONE, QUEUED, RUNNING, SUSPENDED, JobScheduler,
 )
@@ -96,6 +99,59 @@ def test_journal_rejects_mid_file_garbage(tmp_path):
         fh.write('{"event": "started", "job_id": "job-000001"}\n')
     with pytest.raises(ValueError):
         journal.replay()
+
+
+def test_journal_lock_blocks_double_adoption(tmp_path):
+    """Regression: two servers over one data dir must not both re-adopt
+    (and both restart) the same orphaned jobs."""
+    submitter = make_scheduler(tmp_path)
+    orphan = submitter.submit(small_spec())  # journaled, never run
+    sched1 = make_scheduler(tmp_path)
+    adopted = sched1.adopt_orphans()  # first server owns the journal now
+    assert [j.job_id for j in adopted] == [orphan.job_id]
+    sched2 = make_scheduler(tmp_path)  # fresh JobJournal, same path
+    with pytest.raises(JournalLocked) as err:
+        sched2.adopt_orphans()
+    assert str(os.getpid()) in str(err.value)
+    # the loser adopted nothing: no duplicate Job for the orphan
+    assert sched2.jobs() == []
+    sched1.journal.release_lock()
+
+
+def test_journal_lock_released_by_scheduler_run(tmp_path):
+    """run()'s finally releases the lock, so a sequential restart (the
+    normal adopt -> crash/stop -> adopt again cycle) just works."""
+    submitter = make_scheduler(tmp_path)
+    submitter.submit(small_spec())
+    sched1 = make_scheduler(tmp_path)
+    adopted = sched1.adopt_orphans()
+    run_until_settled(sched1)
+    assert adopted[0].state == DONE
+    assert not os.path.exists(sched1.journal.lock_path)
+    sched2 = make_scheduler(tmp_path)
+    assert sched2.adopt_orphans() == []  # lock re-acquired cleanly
+    sched2.journal.release_lock()
+
+
+def test_journal_stale_lock_is_broken(tmp_path):
+    """A lock left by a dead process (or with no pid and long expired)
+    must not wedge every future restart."""
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    # a pid that existed and is now certainly gone
+    proc = subprocess.Popen([sys.executable, "-c", ""])
+    proc.wait()
+    with open(journal.lock_path, "w") as fh:
+        json.dump({"pid": proc.pid, "created": 0.0}, fh)
+    journal.acquire_lock()  # breaks the stale lock, takes ownership
+    assert journal._read_lock()["pid"] == os.getpid()
+    journal.release_lock()
+    # pid-less lock: stale only once older than the grace window
+    with open(journal.lock_path, "w") as fh:
+        json.dump({"created": time.time()}, fh)
+    with pytest.raises(JournalLocked):
+        journal.acquire_lock(stale_after=300.0)
+    journal.acquire_lock(stale_after=0.0)
+    journal.release_lock()
 
 
 # ---------------------------------------------------------------------------
@@ -229,6 +285,56 @@ def test_drain_suspends_running_job_for_readoption(tmp_path):
     run_until_settled(sched2)
     assert adopted[0].state == DONE
     assert adopted[0].trials_done + job.trials_done == 6
+
+
+def test_drain_under_cancellation_storm(tmp_path):
+    """Cancel every job mid-drain: states settle to CANCELLED/DONE only,
+    the journal holds no orphans, and no engine thread leaks."""
+    gate = threading.Event()
+
+    def slow_runner(trial):
+        gate.wait(timeout=10.0)
+        return fast_runner(trial)
+
+    threads_before = set(threading.enumerate())
+    sched = make_scheduler(tmp_path, runner=slow_runner, max_concurrent=3,
+                           tenant_quota=3)
+    jobs = [sched.submit(small_spec(trials=6, batch=2, seed_base=10 * i),
+                         priority=i % 2)
+            for i in range(8)]
+
+    async def drive():
+        task = asyncio.create_task(sched.run())
+        while sum(1 for j in jobs if j.state == RUNNING) < 3:
+            await asyncio.sleep(0.01)
+        sched.request_stop()  # drain begins with 3 running, 5 queued
+        for job in jobs:      # ...and the storm cancels all of them
+            sched.cancel(job.job_id)
+        gate.set()
+        await task
+    asyncio.run(drive())
+
+    # every job reached a terminal state, none wedged mid-transition
+    assert {j.state for j in jobs} <= {CANCELLED, DONE}
+    assert sum(1 for j in jobs if j.state == CANCELLED) >= 5
+    # cancelled jobs stopped at wave boundaries: only whole, durable
+    # trial records, never more than the grid
+    for job in jobs:
+        assert 0 <= job.trials_done <= 6
+    # cancelled is terminal, so a restarted server re-adopts nothing
+    assert sched.journal.orphans() == []
+    sched2 = make_scheduler(tmp_path)
+    assert sched2.adopt_orphans() == []
+    sched2.journal.release_lock()
+    # no engine threads leak past the drain
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        leaked = [t for t in threading.enumerate()
+                  if t not in threads_before and t.is_alive()]
+        if not leaked:
+            break
+        time.sleep(0.05)
+    assert leaked == []
 
 
 def test_sharded_job_store(tmp_path):

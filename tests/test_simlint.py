@@ -351,6 +351,131 @@ class TestBlockingCallInAsync:
             config=LintConfig(root=REPO_ROOT)) == []
 
 
+class TestUnboundedNetRetry:
+    SERVICE = "src/repro/service/mod.py"
+
+    def service_codes(self, source):
+        return codes(source, path=self.SERVICE,
+                     config=LintConfig(root=REPO_ROOT))
+
+    def test_while_true_around_http_flagged(self):
+        assert "SIM109" in self.service_codes("""
+            from http.client import HTTPConnection
+
+            def poll(host):
+                while True:
+                    conn = HTTPConnection(host, timeout=5.0)
+                    conn.request("GET", "/healthz")
+        """)
+
+    def test_while_true_around_urlopen_flagged(self):
+        assert "SIM109" in self.service_codes("""
+            import urllib.request
+
+            def fetch(url):
+                while True:
+                    return urllib.request.urlopen(url, timeout=5)
+        """)
+
+    def test_while_true_around_subprocess_flagged(self):
+        assert "SIM109" in self.service_codes("""
+            import subprocess
+
+            def respawn(cmd):
+                while True:
+                    subprocess.run(cmd, timeout=30)
+        """)
+
+    def test_deadline_bounded_loop_ok(self):
+        assert self.service_codes("""
+            import urllib.request
+
+            def fetch(url, clock, deadline):
+                while True:
+                    if clock() > deadline:
+                        raise TimeoutError(url)
+                    return urllib.request.urlopen(url, timeout=5)
+        """) == []
+
+    def test_attempt_counter_bounds_loop_ok(self):
+        assert self.service_codes("""
+            import subprocess
+
+            def respawn(cmd, max_attempts):
+                attempts = 0
+                while True:
+                    attempts += 1
+                    if attempts > max_attempts:
+                        raise RuntimeError(cmd)
+                    subprocess.run(cmd, timeout=30)
+        """) == []
+
+    def test_call_with_retry_inside_loop_ok(self):
+        # the sanctioned helper carries its own budget and backoff
+        assert self.service_codes("""
+            import urllib.request
+            from repro.service.retry import call_with_retry
+
+            def fetch(url):
+                while True:
+                    return call_with_retry(
+                        lambda: urllib.request.urlopen(url, timeout=5))
+        """) == []
+
+    def test_conditional_loop_not_flagged(self):
+        assert self.service_codes("""
+            import urllib.request
+
+            def fetch(url, alive):
+                while alive():
+                    urllib.request.urlopen(url, timeout=5)
+        """) == []
+
+    def test_socket_without_timeout_flagged(self):
+        assert "SIM109" in self.service_codes("""
+            from http.client import HTTPConnection
+
+            def connect(host):
+                return HTTPConnection(host)
+        """)
+        assert "SIM109" in self.service_codes("""
+            import socket
+
+            def connect(addr):
+                return socket.create_connection(addr)
+        """)
+
+    def test_socket_with_timeout_ok(self):
+        assert self.service_codes("""
+            import socket
+            from http.client import HTTPConnection
+
+            def connect(host, addr):
+                conn = HTTPConnection(host, timeout=5.0)
+                sock = socket.create_connection(addr, timeout=2.0)
+                return conn, sock
+        """) == []
+
+    def test_pragma_suppression(self):
+        assert self.service_codes("""
+            from http.client import HTTPConnection
+
+            def connect(host):
+                return HTTPConnection(host)  # simlint: off=SIM109
+        """) == []
+
+    def test_rule_scoped_to_service_package(self):
+        # offline packages never hold a lease; their loops are not ours
+        assert codes("""
+            import urllib.request
+
+            def fetch(url):
+                while True:
+                    urllib.request.urlopen(url)
+        """, path="src/repro/harness/mod.py",
+            config=LintConfig(root=REPO_ROOT)) == []
+
+
 # ---------------------------------------------------------------------------
 # SIM2xx hot path
 # ---------------------------------------------------------------------------
