@@ -88,6 +88,12 @@ class Baseline:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
 
+    def stale_versus(self, current: "Baseline") -> int:
+        """Budget slots in this baseline that ``current`` no longer
+        needs — the count ``--write-baseline`` prunes on rewrite."""
+        return sum(max(0, count - current._budget.get(key, 0))
+                   for key, count in self._budget.items())
+
     def filter(self, findings: Sequence[Finding]
                ) -> Tuple[List[Finding], int]:
         """Split ``findings`` into (new, number baselined).

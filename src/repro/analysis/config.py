@@ -54,11 +54,21 @@ ASYNC_PACKAGES: Tuple[str, ...] = (
     "src/repro/service/",
 )
 
+#: the scheme descriptor package (SIM701 protocol conformance)
+SCHEME_PACKAGES: Tuple[str, ...] = (
+    "src/repro/schemes/",
+)
+
 DEFAULT_RULE_PATHS: Dict[str, Tuple[str, ...]] = {
     "SIM201": HOT_PACKAGES,
     "SIM106": COPY_PACKAGES,
     "SIM107": ASYNC_PACKAGES,
     "SIM109": ASYNC_PACKAGES,
+    # the race lint reasons about the service tier's deliberate
+    # async/thread/signal mix; elsewhere multi-domain writes are a
+    # design smell the per-file rules already police differently
+    "SIM601": ASYNC_PACKAGES,
+    "SIM701": SCHEME_PACKAGES,
 }
 
 

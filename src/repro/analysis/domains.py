@@ -1,0 +1,327 @@
+"""Concurrency-domain inference for the shared-state race lint.
+
+The service tier deliberately mixes three execution domains: the
+asyncio event loop (HTTP handlers, the scheduling loop), worker
+threads (``asyncio.to_thread`` campaign execution, store observer
+callbacks, ``threading.Thread`` heartbeats), and signal handlers. An
+instance attribute written from more than one of those domains without
+a common lock is a data race the test suite will almost never catch.
+
+This module infers, per class method, the set of domains the method
+may run in:
+
+* ``async`` — seeded by ``async def``;
+* ``thread`` — seeded where a bound method escapes into a thread:
+  ``asyncio.to_thread(self.m, ...)``, ``loop.run_in_executor(_,
+  self.m)``, ``executor.submit(self.m)``, ``threading.Thread(
+  target=self.m)``, and the repo's observer convention of ``on_*=``
+  keyword callbacks (``ResultStore(path, on_append=self._on_trial)``
+  invokes ``_on_trial`` from the engine's worker threads) —
+  ``functools.partial(self.m, ...)`` wrappers are unwrapped;
+* ``signal`` — seeded by ``signal.signal(sig, self.m)``.
+
+Domains then propagate caller → callee along the project call graph's
+method-to-method edges (a sync helper called from an ``async def``
+runs on the event loop) to a fixpoint. Methods nothing registers and
+nothing known calls keep an *empty* domain set and can never race —
+the inference is deliberately conservative in what it claims.
+
+A write is an assignment/``augassign`` to ``self.X``, a subscript
+store through ``self.X[...]``, or a mutating method call
+(``self.X.append(...)`` etc.); ``__init__``/``__post_init__`` writes
+are construction (happens-before publication) and never counted. A
+write is *locked* when it sits lexically inside ``with self.L:`` where
+``L`` was assigned a ``threading.Lock``/``RLock``/``Condition``/
+``Semaphore`` or ``asyncio.Lock``/``Condition`` anywhere in the class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import ProjectContext
+from repro.analysis.framework import FileContext
+from repro.analysis.symbols import ClassInfo, FunctionInfo
+
+ASYNC = "async"
+THREAD = "thread"
+SIGNAL = "signal"
+
+_LOCK_FACTORIES = frozenset({
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore",
+    "asyncio.Lock", "asyncio.Condition", "asyncio.Semaphore",
+})
+
+#: method calls on ``self.X`` that mutate X in place
+_MUTATOR_CALLS = frozenset({
+    "append", "extend", "add", "remove", "discard", "insert",
+    "appendleft", "popleft", "pop", "popitem", "clear", "update",
+    "setdefault", "sort", "reverse",
+})
+
+#: construction happens-before publication of the instance
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+class WriteSite:
+    """One mutation of ``self.<attr>`` inside one method."""
+
+    __slots__ = ("attr", "method", "lineno", "lock")
+
+    def __init__(self, attr: str, method: str, lineno: int,
+                 lock: Optional[str]) -> None:
+        self.attr = attr
+        self.method = method
+        self.lineno = lineno
+        self.lock = lock
+
+
+def _self_attr(expr: ast.expr) -> Optional[str]:
+    """``self.X`` -> ``"X"`` (single attribute hop only)."""
+    if isinstance(expr, ast.Attribute) \
+            and isinstance(expr.value, ast.Name) \
+            and expr.value.id == "self":
+        return expr.attr
+    return None
+
+
+def _self_method_ref(ctx: FileContext, expr: ast.expr,
+                     aliases: Optional[Dict[str, str]] = None
+                     ) -> Optional[str]:
+    """Method name when ``expr`` is ``self.m``, ``partial(self.m, ..)``
+    or a local previously bound to one of those shapes."""
+    direct = _self_attr(expr)
+    if direct is not None:
+        return direct
+    if isinstance(expr, ast.Call):
+        resolved = ctx.resolve(expr.func)
+        if resolved in ("functools.partial", "partial") and expr.args:
+            return _self_attr(expr.args[0])
+    if aliases is not None and isinstance(expr, ast.Name):
+        return aliases.get(expr.id)
+    return None
+
+
+def _local_method_aliases(ctx: FileContext,
+                          fi: FunctionInfo) -> Dict[str, str]:
+    """Locals bound to a method reference (``cb = partial(self.m, x)``
+    then ``Store(on_append=cb)`` — the scheduler's observer shape)."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(fi.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        ref = _self_method_ref(ctx, node.value)
+        if ref is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                aliases[target.id] = ref
+    return aliases
+
+
+def _lock_attrs(ci: ClassInfo, ctx: FileContext) -> Set[str]:
+    """Attributes of ``ci`` assigned a lock/condition factory."""
+    out: Set[str] = set()
+    for node in ast.walk(ci.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        if ctx.resolve(node.value.func) not in _LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                out.add(attr)
+    return out
+
+
+def _scan_writes(fi: FunctionInfo,
+                 lock_attrs: Set[str]) -> List[WriteSite]:
+    """All ``self.<attr>`` mutations in one method, with lock context."""
+    sites: List[WriteSite] = []
+
+    def record(attr: Optional[str], lineno: int,
+               lock: Optional[str]) -> None:
+        if attr is not None and attr not in lock_attrs:
+            sites.append(WriteSite(attr, fi.name, lineno, lock))
+
+    def walk(node: ast.AST, lock: Optional[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            held = lock
+            for item in node.items:
+                attr = _self_attr(item.context_expr)
+                if attr is not None and attr in lock_attrs \
+                        and held is None:
+                    held = attr
+            for child in node.body:
+                walk(child, held)
+            return
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                record(_self_attr(target), node.lineno, lock)
+                if isinstance(target, ast.Subscript):
+                    record(_self_attr(target.value), node.lineno, lock)
+        elif isinstance(node, ast.AugAssign):
+            record(_self_attr(node.target), node.lineno, lock)
+            if isinstance(node.target, ast.Subscript):
+                record(_self_attr(node.target.value), node.lineno,
+                       lock)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    record(_self_attr(target.value), node.lineno, lock)
+                else:
+                    record(_self_attr(target), node.lineno, lock)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATOR_CALLS:
+            record(_self_attr(node.func.value), node.lineno, lock)
+        for child in ast.iter_child_nodes(node):
+            walk(child, lock)
+
+    for stmt in fi.node.body:
+        walk(stmt, None)
+    return sites
+
+
+def _seed_domains(project: ProjectContext) -> Dict[str, Set[str]]:
+    """Initial method-symbol -> domain set, before propagation."""
+    table = project.table
+    seeds: Dict[str, Set[str]] = {}
+
+    def add(class_symbol: Optional[str], method: Optional[str],
+            domain: str) -> None:
+        if class_symbol is None or method is None:
+            return
+        fi = table.resolve_method(class_symbol, method)
+        if fi is not None:
+            seeds.setdefault(fi.symbol, set()).add(domain)
+
+    for symbol in sorted(table.functions):
+        fi = table.functions[symbol]
+        if fi.is_async:
+            seeds.setdefault(symbol, set()).add(ASYNC)
+        ctx = table.modules[fi.module].ctx
+        cls = fi.class_symbol
+        if cls is None:
+            continue
+        aliases = _local_method_aliases(ctx, fi)
+        for node in ast.walk(fi.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func) or ""
+            attr = node.func.attr \
+                if isinstance(node.func, ast.Attribute) else ""
+            if resolved == "signal.signal" and len(node.args) >= 2:
+                add(cls, _self_method_ref(ctx, node.args[1], aliases),
+                    SIGNAL)
+            elif resolved == "asyncio.to_thread" and node.args:
+                add(cls, _self_method_ref(ctx, node.args[0], aliases),
+                    THREAD)
+            elif attr == "run_in_executor" and len(node.args) >= 2:
+                add(cls, _self_method_ref(ctx, node.args[1], aliases),
+                    THREAD)
+            elif attr == "submit" and node.args:
+                add(cls, _self_method_ref(ctx, node.args[0], aliases),
+                    THREAD)
+            elif resolved == "threading.Thread":
+                for kw in node.keywords:
+                    if kw.arg == "target":
+                        add(cls,
+                            _self_method_ref(ctx, kw.value, aliases),
+                            THREAD)
+            for kw in node.keywords:
+                if kw.arg is not None and kw.arg.startswith("on_"):
+                    add(cls, _self_method_ref(ctx, kw.value, aliases),
+                        THREAD)
+    return seeds
+
+
+def method_domains(project: ProjectContext) -> Dict[str, Set[str]]:
+    """Fixpoint of domain propagation along method-to-method edges."""
+    table = project.table
+    graph = project.graph
+    domains = _seed_domains(project)
+    changed = True
+    while changed:
+        changed = False
+        for caller, callee in graph.edges():
+            caller_fi = table.functions.get(caller)
+            callee_fi = table.functions.get(callee)
+            if caller_fi is None or callee_fi is None:
+                continue
+            if caller_fi.class_symbol is None \
+                    or callee_fi.class_symbol is None:
+                continue
+            have = domains.get(caller, set())
+            if not have:
+                continue
+            target = domains.setdefault(callee, set())
+            before = len(target)
+            # an ``async def`` caller dispatches sync callees on the
+            # event loop; an async callee always runs as a coroutine
+            # regardless of which domain created it
+            target.update(have if not callee_fi.is_async else {ASYNC})
+            if len(target) != before:
+                changed = True
+    return domains
+
+
+class RaceReport:
+    """One multi-domain attribute of one class."""
+
+    __slots__ = ("class_symbol", "attr", "path", "entries")
+
+    def __init__(self, class_symbol: str, attr: str, path: str,
+                 entries: List[Tuple[str, WriteSite]]) -> None:
+        self.class_symbol = class_symbol
+        self.attr = attr
+        self.path = path
+        #: sorted (domain, site) pairs, every domain the attr sees
+        self.entries = entries
+
+    @property
+    def domains(self) -> List[str]:
+        return sorted({domain for domain, _ in self.entries})
+
+    @property
+    def anchor(self) -> WriteSite:
+        unlocked = [s for _, s in self.entries if s.lock is None]
+        pool = unlocked or [s for _, s in self.entries]
+        return min(pool, key=lambda s: s.lineno)
+
+
+def find_races(project: ProjectContext) -> Iterator[RaceReport]:
+    """Attributes written from >1 domain without one common lock."""
+    table = project.table
+    domains = method_domains(project)
+    for class_symbol in sorted(table.classes):
+        ci = table.classes[class_symbol]
+        ctx = table.modules[ci.module].ctx
+        locks = _lock_attrs(ci, ctx)
+        by_attr: Dict[str, List[Tuple[str, WriteSite]]] = {}
+        for name in sorted(ci.methods):
+            fi = ci.methods[name]
+            if name in _INIT_METHODS:
+                continue
+            method_doms = domains.get(fi.symbol, set())
+            if not method_doms:
+                continue
+            for site in _scan_writes(fi, locks):
+                for domain in sorted(method_doms):
+                    by_attr.setdefault(site.attr, []).append(
+                        (domain, site))
+        for attr in sorted(by_attr):
+            entries = sorted(
+                by_attr[attr],
+                key=lambda e: (e[0], e[1].lineno, e[1].method))
+            seen_domains = {domain for domain, _ in entries}
+            if len(seen_domains) < 2:
+                continue
+            held = {site.lock for _, site in entries}
+            if len(held) == 1 and None not in held:
+                continue  # every write under the same lock
+            yield RaceReport(class_symbol, attr, ci.path, entries)

@@ -43,12 +43,20 @@ class Suppressions:
     def __len__(self) -> int:
         return len(self._by_line)
 
-    def _matches(self, lineno: int, code: str) -> bool:
+    def matches(self, lineno: int, code: str) -> bool:
+        """True if a pragma on exactly ``lineno`` covers ``code``."""
         if lineno not in self._by_line:
             return False
         codes = self._by_line[lineno]
         return codes is None or code in codes
 
     def is_suppressed(self, lineno: int, code: str) -> bool:
-        """True if ``code`` is pragma'd on ``lineno`` or the line above."""
-        return self._matches(lineno, code) or self._matches(lineno - 1, code)
+        """True if ``code`` is pragma'd on ``lineno`` or the line above.
+
+        Statement-span anchors (decorated ``def``, multi-line
+        statements) are handled one level up by
+        :meth:`~repro.analysis.framework.FileContext
+        .finding_suppressed`, which also consults the first and last
+        physical lines of the logical statement a finding sits in.
+        """
+        return self.matches(lineno, code) or self.matches(lineno - 1, code)

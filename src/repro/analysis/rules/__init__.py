@@ -12,6 +12,15 @@ Families:
   module-level; no module-global writes from worker-reachable code.
 * **SIM4xx exception discipline** — no bare ``except:``, no swallowed
   broad handlers (the outcome taxonomy depends on classification).
+* **SIM5xx inter-procedural taint** (whole-program) — nondeterministic
+  values (wall-clock, unseeded RNG, hash order, ``id()``, environment)
+  tracked through the call graph into trial records, result stores,
+  journals, RNG seeds, telemetry payloads, and mapping keys.
+* **SIM6xx shared-state races** (whole-program) — service-tier
+  instance attributes written from more than one concurrency domain
+  (event loop / worker thread / signal handler) without a common lock.
+* **SIM7xx protocol conformance** (whole-program) — ResilienceScheme
+  descriptor declarations (name, telemetry tracks, metric prefix).
 """
 
 from __future__ import annotations
@@ -30,11 +39,20 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.exceptions import BareExcept, SwallowedException
 from repro.analysis.rules.hotpath import FormatInStepLoop, SlotsOnHotRecords
+from repro.analysis.rules.interproc import (
+    AllocIdTaint,
+    EnvTaint,
+    RNGTaint,
+    SetOrderTaint,
+    WallClockTaint,
+)
 from repro.analysis.rules.netretry import UnboundedNetRetry
 from repro.analysis.rules.procpool import (
     ModuleGlobalWrite,
     NonModuleLevelWorker,
 )
+from repro.analysis.rules.races import SharedStateRace
+from repro.analysis.rules.scheme_protocol import SchemeProtocol
 
 #: every rule, instantiated once, in code order
 ALL_RULES: Tuple[Rule, ...] = (
@@ -52,6 +70,13 @@ ALL_RULES: Tuple[Rule, ...] = (
     ModuleGlobalWrite(),
     BareExcept(),
     SwallowedException(),
+    WallClockTaint(),
+    RNGTaint(),
+    SetOrderTaint(),
+    AllocIdTaint(),
+    EnvTaint(),
+    SharedStateRace(),
+    SchemeProtocol(),
 )
 
 

@@ -1,0 +1,89 @@
+"""SIM5xx: inter-procedural nondeterminism taint (whole-program).
+
+Thin :class:`~repro.analysis.framework.ProjectRule` shims over the
+taint fixpoint in :mod:`repro.analysis.taint` — one rule code per
+taint kind, all five sharing a single cached engine per project build.
+See the engine module for the source/sanitizer/sink tables.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterator
+
+from repro.analysis.callgraph import ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ProjectRule
+from repro.analysis.taint import (ALLOC_ID, ENV, RNG, SET_ORDER,
+                                  WALLCLOCK, taint_engine)
+
+
+class _TaintRule(ProjectRule):
+    """Base for the SIM5xx family: one taint kind per rule code."""
+
+    kind: ClassVar[str] = ""
+
+    def check_project(self,
+                      project: ProjectContext) -> Iterator[Finding]:
+        for finding in taint_engine(project).findings():
+            if finding.code == self.code:
+                yield finding
+
+
+class WallClockTaint(_TaintRule):
+    """SIM501: a wall-clock read reaches a determinism sink."""
+
+    code: ClassVar[str] = "SIM501"
+    kind: ClassVar[str] = WALLCLOCK
+    summary: ClassVar[str] = (
+        "wall-clock value reaches a trial record/store/seed/telemetry "
+        "sink (inter-procedural)")
+    example: ClassVar[str] = \
+        "record['t'] = elapsed()  # elapsed() returns time.time()"
+
+
+class RNGTaint(_TaintRule):
+    """SIM502: a process-global/unseeded RNG value reaches a sink."""
+
+    code: ClassVar[str] = "SIM502"
+    kind: ClassVar[str] = RNG
+    summary: ClassVar[str] = (
+        "unseeded/global RNG value reaches a determinism sink "
+        "(inter-procedural)")
+    example: ClassVar[str] = \
+        "store.append_trial(jittered())  # random.random() inside"
+
+
+class SetOrderTaint(_TaintRule):
+    """SIM503: unordered-collection order reaches a sink."""
+
+    code: ClassVar[str] = "SIM503"
+    kind: ClassVar[str] = SET_ORDER
+    summary: ClassVar[str] = (
+        "hash-order value (set.pop/popitem/set iteration) reaches a "
+        "determinism sink (inter-procedural)")
+    example: ClassVar[str] = \
+        "events.emit('eih', victim=pick(pending))  # pending.pop()"
+
+
+class AllocIdTaint(_TaintRule):
+    """SIM504: an allocation-/identity-dependent value reaches a sink."""
+
+    code: ClassVar[str] = "SIM504"
+    kind: ClassVar[str] = ALLOC_ID
+    summary: ClassVar[str] = (
+        "id()/pid/thread-id value reaches a key or determinism sink "
+        "(inter-procedural)")
+    example: ClassVar[str] = \
+        "cache[key_of(config)] = result  # key_of() returns id(config)"
+
+
+class EnvTaint(_TaintRule):
+    """SIM505: an environment-derived value reaches a sink."""
+
+    code: ClassVar[str] = "SIM505"
+    kind: ClassVar[str] = ENV
+    summary: ClassVar[str] = (
+        "os.environ-derived value reaches a determinism sink "
+        "(inter-procedural)")
+    example: ClassVar[str] = \
+        "TrialSpec(seed=int(lookup('SEED')))  # os.environ inside"

@@ -1,0 +1,87 @@
+"""SIM701: ResilienceScheme declaration conformance (whole-program).
+
+Scheme descriptors are pure class-level declarations, so their
+protocol is fully checkable statically: every project subclass of
+:class:`repro.schemes.base.ResilienceScheme` must declare a non-empty
+``name`` and ``description``, a non-empty tuple-of-strings
+``telemetry_tracks``, a ``metric_prefix`` equal to ``name + "."``
+(the metrics dashboards key off that invariant), and — when it
+overrides ``recovery_extra_keys`` — a tuple of strings. Declarations
+are looked up along project base classes, so intermediate abstract
+schemes only need to fill in what they add.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterator, List
+
+from repro.analysis.callgraph import ProjectContext
+from repro.analysis.findings import Finding
+from repro.analysis.framework import ProjectRule
+
+_BASE = "repro.schemes.base.ResilienceScheme"
+
+
+def _is_str_tuple(value: object) -> bool:
+    return isinstance(value, tuple) \
+        and all(isinstance(item, str) for item in value)
+
+
+class SchemeProtocol(ProjectRule):
+    """SIM701: a scheme subclass breaks the descriptor protocol."""
+
+    code: ClassVar[str] = "SIM701"
+    summary: ClassVar[str] = (
+        "ResilienceScheme subclass missing/mistyping a protocol "
+        "declaration (name, description, telemetry_tracks, "
+        "metric_prefix == name + '.')")
+    example: ClassVar[str] = (
+        "class MyScheme(ResilienceScheme):\n"
+        "    name = 'my'\n"
+        "    metric_prefix = 'other.'  # must be 'my.'")
+
+    def check_project(self,
+                      project: ProjectContext) -> Iterator[Finding]:
+        table = project.table
+        if _BASE not in table.classes:
+            return
+        for ci in table.subclasses_of(_BASE):
+            problems: List[str] = []
+            declared, name = table.class_const(ci.symbol, "name")
+            if not declared or not isinstance(name, str) or not name:
+                problems.append("name must be a non-empty str")
+                name = None
+            declared, desc = table.class_const(ci.symbol, "description")
+            if not declared or not isinstance(desc, str) or not desc:
+                problems.append("description must be a non-empty str")
+            declared, tracks = table.class_const(ci.symbol,
+                                                 "telemetry_tracks")
+            if not declared or not _is_str_tuple(tracks) or not tracks:
+                problems.append(
+                    "telemetry_tracks must be a non-empty tuple of "
+                    "track names")
+            declared, prefix = table.class_const(ci.symbol,
+                                                 "metric_prefix")
+            if not declared or not isinstance(prefix, str):
+                problems.append("metric_prefix must be a str")
+            elif isinstance(name, str) and prefix != name + ".":
+                problems.append(
+                    f"metric_prefix {prefix!r} must equal name + '.' "
+                    f"({name + '.'!r})")
+            declared, extra = table.class_const(ci.symbol,
+                                                "recovery_extra_keys")
+            if declared and not _is_str_tuple(extra):
+                problems.append(
+                    "recovery_extra_keys must be a tuple of record "
+                    "keys")
+            if not problems:
+                continue
+            ctx = project.files.get(ci.path)
+            lineno = ci.node.lineno
+            line_text = ctx.line_text(lineno) if ctx else ""
+            yield Finding(
+                path=ci.path, line=lineno, col=ci.node.col_offset,
+                code=self.code,
+                message=(f"scheme {ci.name} violates the descriptor "
+                         f"protocol: {'; '.join(problems)}"),
+                line_text=line_text)

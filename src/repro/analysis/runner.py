@@ -17,15 +17,19 @@ byte-identical reports.
 from __future__ import annotations
 
 import json
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Dict, Iterable, List, Optional, Sequence, Set,
+                    Tuple)
 
 from repro.analysis.baseline import Baseline, BaselineError
 from repro.analysis.config import LintConfig, LintConfigError, load_config
 from repro.analysis.findings import Finding
-from repro.analysis.framework import LintInternalError, Rule, check_source
-from repro.analysis.rules import ALL_RULES
+from repro.analysis.framework import (FileContext, LintInternalError,
+                                      Rule, parse_context,
+                                      run_file_rules, run_project_rules)
+from repro.analysis.rules import ALL_RULES, rule_catalogue
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -94,7 +98,14 @@ def lint_tree(config: LintConfig,
               paths: Sequence[str] = (),
               rules: Iterable[Rule] = ALL_RULES,
               baseline: Optional[Baseline] = None) -> LintReport:
-    """Lint the configured tree and apply the baseline filter."""
+    """Lint the configured tree and apply the baseline filter.
+
+    Every file parses exactly once into a
+    :class:`~repro.analysis.framework.FileContext`; the per-file rules
+    run over each context, then the whole-program rules run once over
+    the full parsed set (so the taint engine sees cross-file call
+    chains even when the CLI was pointed at a subset of paths).
+    """
     rules = tuple(rules)
     if baseline is None:
         if config.baseline is not None:
@@ -102,6 +113,7 @@ def lint_tree(config: LintConfig,
         else:
             baseline = Baseline.empty()
     all_findings: List[Finding] = []
+    contexts: Dict[str, FileContext] = {}
     files = iter_lint_files(config, paths)
     for path in files:
         rel = _rel_posix(path, config.root)
@@ -112,10 +124,52 @@ def lint_tree(config: LintConfig,
                 path=rel, line=1, col=0, code="SIM001",
                 message=f"file is unreadable: {exc}"))
             continue
-        all_findings.extend(check_source(source, rel, rules, config))
+        parsed = parse_context(source, rel)
+        if isinstance(parsed, Finding):
+            all_findings.append(parsed)
+            continue
+        contexts[rel] = parsed
+        all_findings.extend(run_file_rules(parsed, rules, config))
+    all_findings.extend(run_project_rules(contexts, rules, config))
     new, baselined = baseline.filter(all_findings)
     return LintReport(findings=new, baselined=baselined,
                       files=len(files), all_findings=sorted(all_findings))
+
+
+def changed_paths(root: Path, ref: str) -> Set[str]:
+    """Root-relative POSIX paths changed versus ``ref`` (diff-aware
+    mode): committed changes, staged/unstaged edits, and untracked
+    files. Raises :class:`LintInternalError` when git is unusable."""
+    out: Set[str] = set()
+    for argv in (["git", "diff", "--name-only", ref, "--"],
+                 ["git", "ls-files", "--others",
+                  "--exclude-standard"]):
+        try:
+            proc = subprocess.run(
+                argv, cwd=root, capture_output=True, text=True,
+                timeout=30, check=True)
+        except (OSError, subprocess.SubprocessError) as exc:
+            detail = ""
+            if isinstance(exc, subprocess.CalledProcessError):
+                detail = f": {exc.stderr.strip()}"
+            raise LintInternalError(
+                f"--changed needs a usable git checkout "
+                f"({' '.join(argv)} failed{detail})") from exc
+        out.update(line.strip() for line in proc.stdout.splitlines()
+                   if line.strip())
+    return out
+
+
+def filter_to_paths(report: LintReport,
+                    keep: Set[str]) -> LintReport:
+    """The report restricted to findings in ``keep`` (diff-aware mode
+    runs the *whole-program* analysis, then narrows the reported
+    findings — a cross-file taint chain still counts when its sink
+    lives in a changed file)."""
+    return LintReport(
+        findings=[f for f in report.findings if f.path in keep],
+        baselined=report.baselined, files=report.files,
+        all_findings=report.all_findings)
 
 
 def render_text(report: LintReport) -> str:
@@ -143,12 +197,66 @@ def render_json(report: LintReport) -> str:
     return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
 
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 for code-scanning UIs; byte-stable like the rest.
+
+    Only rules with at least one finding are listed in the driver (so
+    an unchanged tree always produces an identical artifact), findings
+    are already canonically sorted, and nothing time- or
+    environment-dependent is emitted.
+    """
+    summaries = {r["code"]: r["summary"] for r in rule_catalogue()}
+    summaries.setdefault("SIM001", "file cannot be parsed or read")
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": summaries.get(code, code)},
+        }
+        for code in sorted(report.counts)
+    ]
+    results = [
+        {
+            "ruleId": f.code,
+            "level": "error" if f.code == "SIM001" else "warning",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.path},
+                    "region": {"startLine": f.line,
+                               "startColumn": f.col + 1},
+                },
+            }],
+        }
+        for f in report.findings
+    ]
+    doc = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {"name": "simlint", "rules": rules}},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+_RENDERERS = {
+    "text": lambda report: render_text(report) + "\n",
+    "json": render_json,
+    "sarif": render_sarif,
+}
+
+
 def run_lint_cli(paths: Sequence[str],
                  fmt: str,
                  root: Optional[str] = None,
                  baseline_path: Optional[str] = None,
                  no_baseline: bool = False,
                  write_baseline: bool = False,
+                 changed: Optional[str] = None,
                  stdout=None) -> int:
     """Back end of ``repro lint`` — returns the process exit code."""
     import sys
@@ -165,14 +273,18 @@ def run_lint_cli(paths: Sequence[str],
         report = lint_tree(config, paths)
         if write_baseline:
             target = config.baseline or "simlint-baseline.json"
-            Baseline.from_findings(report.all_findings).write(
-                config.root / target)
+            fresh = Baseline.from_findings(report.all_findings)
+            stale = Baseline.load(config.root / target) \
+                .stale_versus(fresh)
+            fresh.write(config.root / target)
             print(f"wrote {target}: {len(report.all_findings)} "
-                  f"finding(s) accepted as baseline", file=out)
+                  f"finding(s) accepted as baseline, "
+                  f"{stale} stale entries removed", file=out)
             return EXIT_CLEAN
-        text = (render_json(report) if fmt == "json"
-                else render_text(report) + "\n")
-        out.write(text)
+        if changed is not None:
+            report = filter_to_paths(
+                report, changed_paths(config.root, changed))
+        out.write(_RENDERERS[fmt](report))
         return report.exit_code
     except (LintConfigError, BaselineError, LintInternalError) as exc:
         print(f"simlint internal error: {exc}", file=sys.stderr)

@@ -696,7 +696,8 @@ def _cmd_lint(args) -> int:
     return run_lint_cli(paths=args.paths, fmt=args.format, root=args.root,
                         baseline_path=args.baseline,
                         no_baseline=args.no_baseline,
-                        write_baseline=args.write_baseline)
+                        write_baseline=args.write_baseline,
+                        changed=args.changed)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -957,9 +958,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="*", default=[],
                    help="files or directories (default: [tool.simlint] "
                         "paths from pyproject.toml)")
-    p.add_argument("--format", default="text", choices=["text", "json"],
-                   help="report format (json is byte-stable for CI "
-                        "artifacts)")
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "sarif"],
+                   help="report format (json/sarif are byte-stable "
+                        "for CI artifacts)")
+    p.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                   metavar="GITREF",
+                   help="diff-aware mode: run the full whole-program "
+                        "analysis but report only findings in files "
+                        "changed versus GITREF (default HEAD), "
+                        "including untracked files")
     p.add_argument("--root", default=None, metavar="DIR",
                    help="project root holding pyproject.toml "
                         "(default: cwd)")

@@ -1,0 +1,24 @@
+"""Historical bug #2, frozen: the unsorted EIH victim pop.
+
+The error-interrupt handler once chose which pending error to service
+with ``pending.pop()`` — hash order, so replay logs differed between
+runs with identical seeds. The fix pops ``min(pending)``. Here the pop
+hides behind a picker helper; the taint engine must carry the
+set-order taint through ``_pick`` into the telemetry event payload.
+"""
+
+from typing import Set
+
+
+def _pick(pending: Set[int]) -> int:
+    return pending.pop()
+
+
+class ErrorInterruptHandler:
+    def __init__(self, events):
+        self.events = events
+
+    def drain(self, pending: Set[int]) -> None:
+        while pending:
+            victim = _pick(pending)
+            self.events.emit("eih.victim", core=victim)

@@ -1,0 +1,11 @@
+"""Cross-file taint fixture: the nondeterminism source lives here."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def elapsed_since(start: float) -> float:
+    return stamp() - start

@@ -1,0 +1,9 @@
+"""Cross-file taint fixture: the sink lives here, the source one
+module over — only a whole-program pass connects them."""
+
+from tests.data.taint_fixtures.flow_helpers import elapsed_since
+
+
+def record_trial(store, start: float) -> None:
+    record = {"outcome": "sdc", "wall": elapsed_since(start)}
+    store.append_trial(record)

@@ -1,0 +1,24 @@
+"""Historical bug #1, frozen: the ``id()``-keyed baseline cache.
+
+The harness runner once memoized golden baseline summaries keyed by
+``id(config)`` — identity is allocation-dependent, so a config object
+rebuilt between runs (or a recycled address) silently crossed
+baselines. The fix keys by the config's value tuple. Here the ``id()``
+hides behind a helper, out of SIM104's single-statement sight; the
+taint engine must carry it through ``_key`` into the mapping-key sink.
+"""
+
+
+def _key(config):
+    return id(config)
+
+
+class BaselineCache:
+    def __init__(self):
+        self._cache = {}
+
+    def put(self, config, summary):
+        self._cache[_key(config)] = summary
+
+    def get(self, config):
+        return self._cache.get(_key(config))
